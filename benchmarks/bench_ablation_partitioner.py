@@ -1,0 +1,67 @@
+"""Ablations of the multilevel partitioner's design choices.
+
+Not a paper table — these quantify the choices DESIGN.md section 6 calls
+out: GGGP vs random initial bisection, FM refinement on/off, and the
+k-way balance pass, all measured by inner edge ratio and balance on the
+standard graph.
+"""
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.workloads import standard_graph
+from repro.partitioning.bisect import BisectionOptions
+from repro.partitioning.metrics import inner_edge_ratio
+from repro.partitioning.recursive import recursive_bisection
+from repro.partitioning.wgraph import WGraph
+
+NUM_PARTS = 32
+
+
+def _run_all():
+    graph = standard_graph()
+    wgraph = WGraph.from_digraph(graph)
+    variants = {
+        "full (GGGP + FM + k-way)": dict(
+            options=BisectionOptions(), kway_tolerance=0.05),
+        "no FM refinement": dict(
+            options=BisectionOptions(refine=False), kway_tolerance=0.05),
+        "random initial bisection": dict(
+            options=BisectionOptions(initial="random"),
+            kway_tolerance=0.05),
+        "no k-way balance pass": dict(
+            options=BisectionOptions(), kway_tolerance=None),
+    }
+    rows = {}
+    for label, kwargs in variants.items():
+        rp = recursive_bisection(wgraph, NUM_PARTS, seed=7, **kwargs)
+        weights = np.zeros(NUM_PARTS)
+        np.add.at(weights, rp.parts, wgraph.vweights.astype(float))
+        rows[label] = {
+            "ier": 100 * inner_edge_ratio(graph, rp.parts),
+            "imbalance": float(weights.max()
+                               / (weights.sum() / NUM_PARTS)),
+        }
+    return rows
+
+
+def test_ablation_partitioner(benchmark, record):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        title=f"Partitioner ablation ({NUM_PARTS} partitions)",
+        columns=["inner edge ratio %", "max/ideal weight"],
+    )
+    for label, r in rows.items():
+        table.add_row(label, [round(r["ier"], 1),
+                              round(r["imbalance"], 3)])
+    record("ablation_partitioner", table.render())
+
+    full = rows["full (GGGP + FM + k-way)"]
+    # FM refinement buys substantial cut quality
+    assert full["ier"] >= rows["no FM refinement"]["ier"]
+    # GGGP beats a random initial bisection (FM recovers some of it)
+    assert full["ier"] >= rows["random initial bisection"]["ier"] - 2.0
+    # the k-way pass trades a little cut for much tighter balance
+    assert full["imbalance"] <= rows["no k-way balance pass"]["imbalance"]
+    assert full["imbalance"] <= 1.10

@@ -1,0 +1,41 @@
+"""Figure 10 — fault tolerance: kill a slave mid-run.
+
+Paper shape: the job manager re-executes the lost tasks on another slave;
+the recovered run produces the same result with ~10 % overhead, visible
+as a dip plus a late bump in the disk-I/O-rate timeline.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig10_fault_tolerance
+from repro.bench.harness import ExperimentTable
+
+
+def test_fig10_fault_tolerance(benchmark, workload, record):
+    result = benchmark.pedantic(
+        lambda: fig10_fault_tolerance(workload), rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        title=(f"Figure 10: NR with machine {result['victim']} killed at "
+               f"t={result['kill_time']:.0f}s"),
+        columns=["response (s)", "failures"],
+    )
+    table.add_row("normal run", [round(result["normal_response"], 1), 0])
+    table.add_row("with failure", [round(result["faulty_response"], 1),
+                                   result["failures"] + result["retries"]])
+    table.notes.append(
+        f"recovery overhead {result['overhead_pct']:.1f}% "
+        "(paper reports ~10%)"
+    )
+    record("fig10_fault_tolerance", table.render())
+
+    assert result["failures"] + result["retries"] >= 1
+    # recovery costs something but stays moderate (paper: ~10 %)
+    assert 0.0 < result["overhead_pct"] < 60.0
+    # the faulty run keeps doing I/O after the kill (re-execution tail)
+    times, rates = result["faulty_timeline"]
+    after_kill = rates[times >= result["kill_time"]]
+    assert after_kill.size > 0 and np.any(after_kill > 0)
+    # and it finishes later than the normal run
+    assert result["faulty_response"] > result["normal_response"]

@@ -1,0 +1,27 @@
+"""Figure 11 — scalability: machines and graph size scaled together.
+
+Paper shape: as machines grow 8 -> 32 with proportionally larger graphs,
+the response time stays roughly flat (slightly decreasing) — good weak
+scalability.
+"""
+
+from repro.bench.experiments import fig11_scalability
+from repro.bench.harness import ExperimentTable
+
+
+def test_fig11_scalability(benchmark, record):
+    series = benchmark.pedantic(fig11_scalability, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        title="Figure 11: P-Surfer NR weak scaling",
+        columns=["machines", "response (s)"],
+    )
+    for m, t in series.items():
+        table.add_row(str(m), [m, round(t, 1)])
+    record("fig11_scalability", table.render())
+
+    times = [series[m] for m in sorted(series)]
+    # weak scaling: response stays within a modest band
+    assert max(times) <= 2.0 * min(times)
+    # no runaway growth towards larger clusters
+    assert times[-1] <= 1.7 * times[0]

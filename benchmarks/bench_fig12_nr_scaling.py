@@ -1,0 +1,29 @@
+"""Figure 12 — NR: MapReduce vs. propagation across cluster sizes.
+
+Paper shape: propagation is 4.6–7.8x faster than MapReduce at every
+cluster size from 8 to 32 machines.
+"""
+
+from repro.bench.experiments import fig12_nr_scaling
+from repro.bench.harness import ExperimentTable
+
+
+def test_fig12_nr_scaling(benchmark, record):
+    series = benchmark.pedantic(fig12_nr_scaling, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        title="Figure 12: NR, MapReduce vs P-Surfer per cluster size",
+        columns=["prop time", "mr time", "speedup"],
+    )
+    for m, r in series.items():
+        table.add_row(f"{m} machines", [round(r["prop_time"], 1),
+                                        round(r["mr_time"], 1),
+                                        round(r["speedup"], 2)])
+    record("fig12_nr_scaling", table.render())
+
+    for m, r in series.items():
+        assert r["speedup"] >= 1.4, (m, r)
+    # propagation wins at every size; the gap never collapses
+    speedups = [series[m]["speedup"] for m in sorted(series)]
+    assert min(speedups) >= 1.4
+    assert max(speedups) <= 12.0

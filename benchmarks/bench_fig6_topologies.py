@@ -1,0 +1,31 @@
+"""Figure 6 — bandwidth-aware placement across network topologies.
+
+Paper shape: bandwidth-aware partitioning significantly improves
+propagation on every uneven topology (up to 71 %), modestly on T1.
+"""
+
+from repro.bench.experiments import fig6_topologies
+from repro.bench.harness import ExperimentTable
+
+
+def test_fig6_topologies(benchmark, record):
+    series = benchmark.pedantic(fig6_topologies, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        title="Figure 6: NR response time (s), placement comparison",
+        columns=["oblivious", "bandwidth-aware", "improvement %"],
+    )
+    for topo, r in series.items():
+        table.add_row(topo, [round(r["oblivious"], 1),
+                             round(r["bandwidth-aware"], 1),
+                             round(r["improvement_pct"], 1)])
+    record("fig6_topologies", table.render())
+
+    # strong wins on the tree topologies
+    for topo in ("T2(2,1)", "T2(4,1)", "T2(4,2)"):
+        assert series[topo]["improvement_pct"] >= 15.0, topo
+    # never substantially worse anywhere
+    for topo, r in series.items():
+        assert r["improvement_pct"] >= -8.0, (topo, r)
+    # the biggest absolute cost is on the slowest topology for both
+    assert series["T2(2,1)"]["oblivious"] > series["T1"]["oblivious"]

@@ -1,0 +1,35 @@
+"""Figure 9 — impact of the cross-pod delay factor on NR, T2(2,1).
+
+Paper shape: as the simulated cross-pod delay grows from 2x to 128x, the
+bandwidth-aware improvement becomes more significant.
+"""
+
+from repro.bench.experiments import fig9_delay_sweep
+from repro.bench.harness import ExperimentTable
+
+
+def test_fig9_delay_sweep(benchmark, record):
+    series = benchmark.pedantic(
+        lambda: fig9_delay_sweep(delays=(2, 8, 32, 128)),
+        rounds=1, iterations=1,
+    )
+
+    table = ExperimentTable(
+        title="Figure 9: NR on T2(2,1), cross-pod delay sweep",
+        columns=["oblivious", "bandwidth-aware", "improvement %"],
+    )
+    for delay, r in series.items():
+        table.add_row(f"{delay}x", [round(r["oblivious"], 1),
+                                    round(r["bandwidth-aware"], 1),
+                                    round(r["improvement_pct"], 1)])
+    record("fig9_delay_sweep", table.render())
+
+    delays = sorted(series)
+    # absolute times grow with the delay under the oblivious layout
+    obl = [series[d]["oblivious"] for d in delays]
+    assert obl == sorted(obl)
+    # the bandwidth-aware advantage widens as the delay grows
+    first = series[delays[0]]["improvement_pct"]
+    last = series[delays[-1]]["improvement_pct"]
+    assert last > first
+    assert last >= 25.0

@@ -1,0 +1,24 @@
+"""Table 1 — elapsed time of distributed partitioning per topology.
+
+Paper: bandwidth-aware partitioning improves on ParMetis by 39–55 % on the
+uneven topologies and ties it on the flat T1.
+"""
+
+from repro.bench.experiments import table1_partitioning
+
+
+def test_table1_partitioning(benchmark, record):
+    table = benchmark.pedantic(table1_partitioning, rounds=1, iterations=1)
+    record("table1_partitioning", table.render())
+
+    parmetis = dict(zip(table.columns, table.rows[0][1]))
+    aware = dict(zip(table.columns, table.rows[1][1]))
+    # identical on the flat topology
+    assert aware["T1"] == parmetis["T1"]
+    # large wins on every tree variant (paper band: 39-55 %)
+    for topo in ("T2(2,1)", "T2(4,1)", "T2(4,2)"):
+        improvement = 1 - aware[topo] / parmetis[topo]
+        assert 0.30 <= improvement <= 0.70, (topo, improvement)
+    # never worse anywhere
+    for topo in table.columns:
+        assert aware[topo] <= parmetis[topo] * 1.01

@@ -1,0 +1,23 @@
+"""Table 4 — developer-written UDF source lines per engine.
+
+Paper shape: propagation UDFs are a small fraction of the MapReduce ones
+for every edge-oriented application; VDD is small everywhere.
+"""
+
+from repro.apps import APP_ORDER
+from repro.bench.experiments import table4_loc
+
+
+def test_table4_loc(benchmark, record):
+    table = benchmark.pedantic(table4_loc, rounds=1, iterations=1)
+    record("table4_loc", table.render())
+
+    ours_prop = dict(zip(table.columns, table.rows[0][1]))
+    ours_mr = dict(zip(table.columns, table.rows[1][1]))
+    for app in APP_ORDER:
+        assert ours_prop[app] >= 1, app
+        assert ours_mr[app] >= 1, app
+        # propagation never needs more developer code than MapReduce
+        assert ours_prop[app] <= ours_mr[app], app
+    # and is strictly smaller in aggregate
+    assert sum(ours_prop.values()) < 0.8 * sum(ours_mr.values())

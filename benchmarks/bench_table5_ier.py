@@ -1,0 +1,23 @@
+"""Table 5 — inner edge ratio vs. number of partitions.
+
+Paper shape (MSN): ier falls from 72.7 % at 16 partitions to 50.3 % at
+128 (monotonicity of the partition sketch), and random partitioning stays
+in single digits.
+"""
+
+from repro.bench.experiments import table5_ier
+
+
+def test_table5_ier(benchmark, record):
+    table = benchmark.pedantic(table5_ier, rounds=1, iterations=1)
+    record("table5_ier", table.render())
+
+    ours = table.rows[0][1]      # columns: 128, 64, 32, 16
+    random_ier = table.rows[1][1]
+    # monotone: fewer partitions keep more edges internal
+    assert ours == sorted(ours)
+    # graph partitioning dominates random partitioning everywhere
+    for got, rand in zip(ours, random_ier):
+        assert got > rand + 20.0, (got, rand)
+    # the 64-partition default sits in the paper's ballpark (57.7 %)
+    assert 40.0 <= ours[1] <= 80.0

@@ -1,0 +1,44 @@
+"""Shared fixtures for the per-table/figure benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper, prints it in
+the paper's row/column arrangement, writes it under
+``benchmarks/results/`` and asserts the paper's qualitative *shape* (who
+wins, roughly by how much).  Absolute numbers are simulator-scale, not
+testbed-scale.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import app_matrix
+from repro.bench.workloads import standard_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The shared 32-machine / 64-partition T1 workload."""
+    return standard_workload()
+
+
+@pytest.fixture(scope="session")
+def app_matrix_tables(workload):
+    """Tables 2 and 3 computed once per session (they share all runs)."""
+    return app_matrix(workload)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist a rendered experiment result and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+        print(f"\n{text}")
+
+    return _record

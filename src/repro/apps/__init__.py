@@ -1,0 +1,93 @@
+"""The paper's six applications, each in both primitives.
+
+``APP_REGISTRY`` maps the paper's short names to ``(propagation class,
+mapreduce class, default iterations)``; the benchmark harness iterates it
+to regenerate Tables 2–4 and Figure 7.
+"""
+
+from repro.apps.base import VertexState, sample_mask, undirected_neighbor_sets
+from repro.apps.network_ranking import (
+    NetworkRankingMapReduce,
+    NetworkRankingPropagation,
+)
+from repro.apps.recommender import (
+    RecommenderMapReduce,
+    RecommenderPropagation,
+    accepts,
+)
+from repro.apps.triangle_counting import (
+    TriangleCountingMapReduce,
+    TriangleCountingPropagation,
+)
+from repro.apps.degree_distribution import (
+    DegreeDistributionMapReduce,
+    DegreeDistributionPropagation,
+)
+from repro.apps.reverse_link_graph import (
+    ReverseLinkGraphMapReduce,
+    ReverseLinkGraphPropagation,
+    reversed_graph_from_lists,
+)
+from repro.apps.two_hop_friends import (
+    TwoHopFriendsMapReduce,
+    TwoHopFriendsPropagation,
+)
+from repro.apps.connected_components import (
+    ConnectedComponentsMapReduce,
+    ConnectedComponentsPropagation,
+    canonical_labels,
+)
+from repro.apps.diameter import (
+    DiameterEstimationPropagation,
+    effective_diameter,
+    fm_estimate,
+    neighborhood_function_exact,
+)
+
+#: name -> (propagation app class, mapreduce app class, default iterations)
+APP_REGISTRY = {
+    "VDD": (DegreeDistributionPropagation, DegreeDistributionMapReduce, 1),
+    "RS": (RecommenderPropagation, RecommenderMapReduce, 2),
+    "NR": (NetworkRankingPropagation, NetworkRankingMapReduce, 1),
+    "RLG": (ReverseLinkGraphPropagation, ReverseLinkGraphMapReduce, 1),
+    "TC": (TriangleCountingPropagation, TriangleCountingMapReduce, 1),
+    "TFL": (TwoHopFriendsPropagation, TwoHopFriendsMapReduce, 1),
+}
+
+APP_ORDER = ("VDD", "RS", "NR", "RLG", "TC", "TFL")
+
+#: extension applications beyond the paper's six (see DESIGN.md section 6)
+EXTENSION_APPS = {
+    "CC": (ConnectedComponentsPropagation, ConnectedComponentsMapReduce),
+    "DIAM": (DiameterEstimationPropagation, None),
+}
+
+__all__ = [
+    "VertexState",
+    "sample_mask",
+    "undirected_neighbor_sets",
+    "NetworkRankingMapReduce",
+    "NetworkRankingPropagation",
+    "RecommenderMapReduce",
+    "RecommenderPropagation",
+    "accepts",
+    "TriangleCountingMapReduce",
+    "TriangleCountingPropagation",
+    "DegreeDistributionMapReduce",
+    "DegreeDistributionPropagation",
+    "ReverseLinkGraphMapReduce",
+    "ReverseLinkGraphPropagation",
+    "reversed_graph_from_lists",
+    "TwoHopFriendsMapReduce",
+    "TwoHopFriendsPropagation",
+    "APP_REGISTRY",
+    "APP_ORDER",
+    "EXTENSION_APPS",
+    "ConnectedComponentsMapReduce",
+    "ConnectedComponentsPropagation",
+    "canonical_labels",
+    "DiameterEstimationPropagation",
+    "effective_diameter",
+    "fm_estimate",
+    "neighborhood_function_exact",
+]

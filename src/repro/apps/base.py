@@ -1,0 +1,56 @@
+"""Shared state containers and helpers for the applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.partitioned import PartitionedGraph
+
+__all__ = ["VertexState", "sample_mask", "undirected_neighbor_sets"]
+
+
+@dataclass
+class VertexState:
+    """Generic per-vertex state: a values container plus app extras."""
+
+    pgraph: PartitionedGraph
+    values: Any
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def graph(self):
+        return self.pgraph.graph
+
+    @property
+    def num_vertices(self) -> int:
+        return self.pgraph.num_vertices
+
+
+def sample_mask(num_vertices: int, ratio: float, seed: int = 0) -> np.ndarray:
+    """Deterministic vertex sample of approximately ``ratio`` fraction.
+
+    TC and TFL run on a 10 % vertex sample in the paper; the mask is a
+    seeded hash so every engine and optimization level sees the same
+    subset.
+    """
+    if ratio >= 1.0:
+        return np.ones(num_vertices, dtype=bool)
+    if ratio <= 0.0:
+        return np.zeros(num_vertices, dtype=bool)
+    ids = np.arange(num_vertices, dtype=np.uint64)
+    hashed = ((ids + np.uint64(seed)) * np.uint64(2654435761)) & np.uint64(
+        0xFFFFFFFF
+    )
+    return hashed < np.uint64(int(ratio * 0xFFFFFFFF))
+
+
+def undirected_neighbor_sets(graph) -> list[set[int]]:
+    """Per-vertex undirected neighbor sets (for triangle counting)."""
+    indptr, indices, _ = graph.to_undirected()
+    return [
+        set(int(w) for w in indices[indptr[v]: indptr[v + 1]])
+        for v in range(graph.num_vertices)
+    ]

@@ -1,0 +1,125 @@
+"""RS — recommender system (Appendix D) in both primitives.
+
+A product adoption cascade: adopters recommend the product to all their
+friends each iteration; a recommended person accepts with probability
+``p``.  Acceptance coins are a deterministic per-(vertex, iteration) hash
+so every engine, optimization level and primitive produces the identical
+adoption set.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import VertexState, sample_mask
+from repro.mapreduce.api import MapReduceApp
+from repro.propagation.api import PropagationApp
+
+__all__ = ["RecommenderPropagation", "RecommenderMapReduce", "accepts"]
+
+
+def accepts(v: int, iteration: int, probability: float, seed: int) -> bool:
+    """Deterministic acceptance coin for vertex ``v`` at ``iteration``."""
+    h = ((v * 2654435761) ^ (iteration * 40503) ^ seed) & 0xFFFFFFFF
+    return h < probability * 0x100000000
+
+
+def _rs_state(pgraph, initial_ratio: float, seed: int) -> VertexState:
+    state = VertexState(
+        pgraph=pgraph,
+        values=sample_mask(pgraph.num_vertices, initial_ratio, seed).copy(),
+    )
+    state.extra["iteration"] = 0
+    return state
+
+
+class RecommenderPropagation(PropagationApp):
+    """Propagation-based recommendation cascade."""
+
+    name = "RS"
+    is_associative = True
+
+    def __init__(self, probability: float = 0.3, initial_ratio: float = 0.05,
+                 seed: int = 7):
+        self.probability = probability
+        self.initial_ratio = initial_ratio
+        self.seed = seed
+
+    def setup(self, pgraph) -> VertexState:
+        return _rs_state(pgraph, self.initial_ratio, self.seed)
+
+    def select(self, u, state):
+        return bool(state.values[u])
+
+    def transfer(self, u, v, state):
+        return True
+
+    def combine(self, v, values, state):
+        if state.values[v]:
+            return True
+        coin = accepts(v, state.extra["iteration"], self.probability,
+                       self.seed)
+        return True if (values and coin) else None
+
+    def merge(self, a, b):
+        return a or b
+
+    def value_nbytes(self, value):
+        return 1.0
+
+    def update(self, state, combined):
+        for v, adopted in combined.items():
+            state.values[v] = adopted
+        state.extra["iteration"] += 1
+
+    def finalize(self, state):
+        return state.values
+
+
+class RecommenderMapReduce(MapReduceApp):
+    """MapReduce-based recommendation cascade.
+
+    ``map`` scans the partition, deduplicates recommendations per target
+    in a hash table, emits one flag per recommended vertex plus a carry
+    record for current adopters; ``reduce`` applies the acceptance coin.
+    """
+
+    name = "RS"
+    writeback_to_partitions = True
+
+    def __init__(self, probability: float = 0.3, initial_ratio: float = 0.05,
+                 seed: int = 7):
+        self.probability = probability
+        self.initial_ratio = initial_ratio
+        self.seed = seed
+
+    def setup(self, pgraph) -> VertexState:
+        return _rs_state(pgraph, self.initial_ratio, self.seed)
+
+    def map(self, partition, pgraph, state, emit):
+        recommended: set[int] = set()
+        src, dst = pgraph.partition_edges(partition)
+        for u, v in zip(src, dst):
+            if state.values[u]:
+                recommended.add(int(v))
+        for v in recommended:
+            emit(v, 1)
+        for u in pgraph.partition_vertices[partition]:
+            if state.values[u]:
+                emit(int(u), 2)  # carry: already an adopter
+
+    def reduce(self, key, values, state, emit):
+        if 2 in values:
+            emit(key, True)
+        elif accepts(key, state.extra["iteration"], self.probability,
+                     self.seed):
+            emit(key, True)
+
+    def value_nbytes(self, value):
+        return 1.0
+
+    def update(self, state, outputs):
+        for v, adopted in outputs.items():
+            state.values[v] = adopted
+        state.extra["iteration"] += 1
+
+    def finalize(self, state):
+        return state.values

@@ -1,0 +1,105 @@
+"""TFL — two-hop friend lists (Appendix D) in both primitives.
+
+Each selected vertex pushes its out-neighbor list to each of its
+out-neighbors; a vertex's two-hop friend list is the deduplicated union of
+the lists it receives, i.e. the people its in-neighbors point to.  The
+per-vertex oracle is :func:`repro.graph.algorithms.two_hop_neighbors`.
+
+Neighbor lists make the intermediate data enormous — the paper's TFL is
+its most network-intensive workload (2.9 TB at O1, Table 3) and the one
+local combination helps most, since lists destined for the same remote
+vertex deduplicate before crossing the network.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import VertexState, sample_mask
+from repro.mapreduce.api import MapReduceApp
+from repro.propagation.api import PropagationApp
+
+__all__ = ["TwoHopFriendsPropagation", "TwoHopFriendsMapReduce"]
+
+
+def _tfl_state(pgraph, select_ratio: float, seed: int) -> VertexState:
+    state = VertexState(pgraph=pgraph, values={})
+    state.extra["selected"] = sample_mask(
+        pgraph.num_vertices, select_ratio, seed
+    )
+    return state
+
+
+class TwoHopFriendsPropagation(PropagationApp):
+    """Propagation-based two-hop friend lists."""
+
+    name = "TFL"
+    is_associative = True
+
+    def __init__(self, select_ratio: float = 1.0, seed: int = 13):
+        self.select_ratio = select_ratio
+        self.seed = seed
+
+    def setup(self, pgraph) -> VertexState:
+        return _tfl_state(pgraph, self.select_ratio, self.seed)
+
+    def select(self, u, state):
+        return bool(state.extra["selected"][u])
+
+    def transfer(self, u, v, state):
+        return frozenset(int(w) for w in state.graph.out_neighbors(u))
+
+    def combine(self, v, values, state):
+        return frozenset().union(*values) if values else None
+
+    def merge(self, a, b):
+        return a | b
+
+    def value_nbytes(self, value):
+        return 8.0 * max(1, len(value))
+
+    def result_nbytes(self, v, value):
+        return 12.0 + 8.0 * len(value)
+
+    def update(self, state, combined):
+        state.values.update(combined)
+
+    def finalize(self, state):
+        return {v: set(friends) for v, friends in state.values.items()}
+
+
+class TwoHopFriendsMapReduce(MapReduceApp):
+    """MapReduce-based two-hop friend lists."""
+
+    name = "TFL"
+
+    def __init__(self, select_ratio: float = 1.0, seed: int = 13):
+        self.select_ratio = select_ratio
+        self.seed = seed
+
+    def setup(self, pgraph) -> VertexState:
+        return _tfl_state(pgraph, self.select_ratio, self.seed)
+
+    def map(self, partition, pgraph, state, emit):
+        selected = state.extra["selected"]
+        graph = pgraph.graph
+        for u in pgraph.partition_vertices[partition]:
+            u = int(u)
+            if not selected[u]:
+                continue
+            friends = tuple(int(w) for w in graph.out_neighbors(u))
+            for v in friends:
+                emit(v, friends)
+
+    def reduce(self, key, values, state, emit):
+        emit(key, frozenset(w for friends in values for w in friends))
+
+    def value_nbytes(self, value):
+        return 8.0 * max(1, len(value))
+
+    def output_nbytes(self, key, value):
+        return 12.0 + 8.0 * len(value)
+
+    def update(self, state, outputs):
+        state.values.update(outputs)
+
+    def finalize(self, state):
+        return {v: set(friends) for v, friends in state.values.items()}

@@ -1,0 +1,61 @@
+"""Benchmark workloads, harness and per-table/figure experiments."""
+
+from repro.bench.harness import (
+    ExperimentTable,
+    format_bytes,
+    format_seconds,
+    format_value,
+    render_bars,
+)
+from repro.bench.loc import PAPER_TABLE4, count_udf_lines, method_body_lines
+from repro.bench.workloads import (
+    PAPER_GRAPH_BYTES,
+    Workload,
+    scaled_graph,
+    standard_graph,
+    standard_workload,
+    topology_suite,
+)
+from repro.bench.experiments import (
+    app_matrix,
+    cascaded_propagation_experiment,
+    fig6_topologies,
+    fig7_mr_vs_prop,
+    fig9_delay_sweep,
+    fig10_fault_tolerance,
+    fig11_scalability,
+    fig12_nr_scaling,
+    make_app,
+    table1_partitioning,
+    table4_loc,
+    table5_ier,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "format_bytes",
+    "format_seconds",
+    "format_value",
+    "render_bars",
+    "PAPER_TABLE4",
+    "count_udf_lines",
+    "method_body_lines",
+    "PAPER_GRAPH_BYTES",
+    "Workload",
+    "scaled_graph",
+    "standard_graph",
+    "standard_workload",
+    "topology_suite",
+    "app_matrix",
+    "cascaded_propagation_experiment",
+    "fig6_topologies",
+    "fig7_mr_vs_prop",
+    "fig9_delay_sweep",
+    "fig10_fault_tolerance",
+    "fig11_scalability",
+    "fig12_nr_scaling",
+    "make_app",
+    "table1_partitioning",
+    "table4_loc",
+    "table5_ier",
+]

@@ -1,0 +1,478 @@
+"""One experiment function per table and figure of the paper.
+
+Each function runs the full pipeline on the simulator and returns either an
+:class:`~repro.bench.harness.ExperimentTable` shaped like the paper's table
+or a dict of named series shaped like the paper's figure.  Absolute numbers
+differ from the paper (our substrate is a simulator at reduced scale); the
+*shapes* — who wins, by what factor, where the gaps widen — are the
+reproduction targets and are asserted by ``tests/test_experiments.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import APP_ORDER, APP_REGISTRY
+from repro.bench.harness import ExperimentTable
+from repro.bench.loc import (
+    MAPREDUCE_UDFS,
+    PAPER_TABLE4,
+    PROPAGATION_UDFS,
+    count_udf_lines,
+)
+from repro.bench.workloads import (
+    PAPER_GRAPH_BYTES,
+    SCALED_LINK_BPS,
+    Workload,
+    make_cluster,
+    scaled_graph,
+    standard_graph,
+    standard_workload,
+    topology_suite,
+)
+from repro.cluster.cluster import partitions_for_memory
+from repro.cluster.faults import FaultPlan
+from repro.cluster.spec import GIGABIT_BPS
+from repro.cluster.topology import t1, t2
+from repro.core.bandwidth_aware import build_machine_tree, random_machine_tree
+from repro.core.partition_cost import simulate_partitioning_time
+from repro.core.surfer import ALL_LEVELS, Surfer
+from repro.graph.digraph import Graph
+from repro.graph.io import graph_storage_bytes
+from repro.partitioning.baselines import random_partition
+from repro.partitioning.metrics import inner_edge_ratio
+from repro.partitioning.recursive import recursive_bisection
+from repro.partitioning.wgraph import WGraph
+from repro.propagation.cascade import compute_cascade_info
+from repro.runtime.trace import io_rate_timeline
+
+__all__ = [
+    "table1_partitioning",
+    "app_matrix",
+    "table4_loc",
+    "table5_ier",
+    "fig6_topologies",
+    "fig7_mr_vs_prop",
+    "cascaded_propagation_experiment",
+    "fig9_delay_sweep",
+    "fig10_fault_tolerance",
+    "fig11_scalability",
+    "fig12_nr_scaling",
+    "make_app",
+]
+
+#: the paper samples 10 % of vertices for TC and TFL
+SAMPLED_APPS = {"TC": 0.1, "TFL": 0.1}
+
+
+def make_app(name: str, kind: str, select_ratio: float | None = None):
+    """Instantiate an application by paper name.
+
+    ``kind`` is ``"propagation"`` or ``"mapreduce"``; sampled apps (TC,
+    TFL) get the paper's 10 % ratio unless overridden.
+    """
+    prop_cls, mr_cls, _ = APP_REGISTRY[name]
+    cls = prop_cls if kind == "propagation" else mr_cls
+    if name in SAMPLED_APPS:
+        ratio = SAMPLED_APPS[name] if select_ratio is None else select_ratio
+        return cls(select_ratio=ratio)
+    return cls()
+
+
+def default_iterations(name: str) -> int:
+    return APP_REGISTRY[name][2]
+
+
+def parts_for(graph: Graph, num_machines: int) -> int:
+    """Partition count: two per machine, and at least the paper's
+    memory rule ``P = 2**ceil(log2(||G|| / r))`` so partitions fit RAM."""
+    from repro.bench.workloads import HARDWARE_SCALE, TESTBED_MACHINE
+
+    memory = TESTBED_MACHINE.scaled(HARDWARE_SCALE).memory_bytes
+    by_machines = 1 << (max(2, 2 * num_machines) - 1).bit_length()
+    by_memory = partitions_for_memory(graph_storage_bytes(graph), memory)
+    return max(by_machines, by_memory)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — elapsed time of partitioning on different topologies
+# ----------------------------------------------------------------------
+def table1_partitioning(
+    graph_bytes: float = PAPER_GRAPH_BYTES,
+    num_machines: int = 32,
+    num_levels: int = 6,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Partitioning elapsed time, ParMetis-like vs. bandwidth-aware."""
+    topologies = topology_suite(num_machines, link_bps=GIGABIT_BPS)
+    table = ExperimentTable(
+        title="Table 1: elapsed time of partitioning (hours)",
+        columns=list(topologies),
+    )
+    rows = {
+        "ParMetis-like": lambda topo: random_machine_tree(
+            topo, num_levels, seed=seed),
+        "Bandwidth aware": lambda topo: build_machine_tree(
+            topo, num_levels, seed=seed),
+    }
+    for label, tree_fn in rows.items():
+        values = []
+        for topo in topologies.values():
+            report = simulate_partitioning_time(
+                graph_bytes, tree_fn(topo), topo
+            )
+            values.append(round(report.total_seconds / 3600.0, 2))
+        table.add_row(label, values)
+    table.notes.append(
+        "paper: ParMetis 27.1/67.6/87.6/131.0/108.0, "
+        "bandwidth-aware 27.1/33.8/43.9/58.3/64.9"
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Tables 2 & 3 — six applications under O1..O4 on T1
+# ----------------------------------------------------------------------
+def app_matrix(
+    workload: Workload | None = None,
+    apps=APP_ORDER,
+) -> tuple[ExperimentTable, ExperimentTable]:
+    """Response/total time and network/disk I/O of every app × O-level."""
+    workload = workload or standard_workload()
+    time_cols = [f"{a}.{m}" for a in apps for m in ("Res", "Total")]
+    io_cols = [f"{a}.{m}" for a in apps for m in ("Net", "Disk")]
+    times = ExperimentTable(
+        title="Table 2: response / total machine time on T1 (seconds)",
+        columns=time_cols,
+    )
+    io = ExperimentTable(
+        title="Table 3: network / disk I/O on T1 (bytes)",
+        columns=io_cols,
+    )
+    for level in ALL_LEVELS:
+        layout = ("bandwidth-aware" if level.bandwidth_aware_layout
+                  else "oblivious")
+        surfer = workload.surfer(layout)
+        t_vals, io_vals = [], []
+        for name in apps:
+            app = make_app(name, "propagation")
+            result = surfer.run_propagation(
+                app,
+                iterations=default_iterations(name),
+                local_opts=level.local_optimizations,
+            )
+            t_vals += [round(result.metrics.response_time, 3),
+                       round(result.metrics.total_machine_time, 3)]
+            io_vals += [result.metrics.network_bytes,
+                        result.metrics.disk_bytes]
+        times.add_row(level.name, t_vals)
+        io.add_row(level.name, io_vals)
+    return times, io
+
+
+# ----------------------------------------------------------------------
+# Table 4 — UDF source lines
+# ----------------------------------------------------------------------
+def table4_loc(apps=APP_ORDER) -> ExperimentTable:
+    """Developer-written UDF lines: our engines plus the paper's numbers."""
+    table = ExperimentTable(
+        title="Table 4: source lines in user-defined functions",
+        columns=list(apps),
+    )
+    table.add_row("Propagation (ours)", [
+        count_udf_lines(APP_REGISTRY[a][0], "propagation") for a in apps
+    ])
+    table.add_row("MapReduce (ours)", [
+        count_udf_lines(APP_REGISTRY[a][1], "mapreduce") for a in apps
+    ])
+    for engine, counts in PAPER_TABLE4.items():
+        table.add_row(f"{engine} (paper)", [counts[a] for a in apps])
+    table.notes.append(
+        f"propagation UDFs counted: {', '.join(PROPAGATION_UDFS)}; "
+        f"mapreduce UDFs counted: {', '.join(MAPREDUCE_UDFS)}"
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Table 5 — inner edge ratio vs. number of partitions
+# ----------------------------------------------------------------------
+def table5_ier(
+    graph: Graph | None = None,
+    num_parts_list=(128, 64, 32, 16),
+    seed: int = 0,
+) -> ExperimentTable:
+    """Inner-edge ratio of our partitioner vs. random partitioning."""
+    graph = graph if graph is not None else standard_graph()
+    wgraph = WGraph.from_digraph(graph)
+    table = ExperimentTable(
+        title="Table 5: inner edge ratio (%) vs number of partitions",
+        columns=[str(p) for p in num_parts_list],
+    )
+    ours, rand = [], []
+    for p in num_parts_list:
+        rp = recursive_bisection(wgraph, p, seed=seed)
+        ours.append(round(100 * inner_edge_ratio(graph, rp.parts), 1))
+        rand.append(round(
+            100 * inner_edge_ratio(graph, random_partition(graph, p, seed)),
+            1,
+        ))
+    table.add_row("ier of our partitioning (%)", ours)
+    table.add_row("ier of random partitioning (%)", rand)
+    table.notes.append(
+        "paper (MSN): ours 50.3/57.7/65.5/72.7, random 1.4/2.2/4.1/6.8"
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — bandwidth-aware placement across topologies
+# ----------------------------------------------------------------------
+def fig6_topologies(
+    app_name: str = "NR",
+    num_machines: int = 32,
+    num_parts: int = 64,
+    graph: Graph | None = None,
+    seed: int = 2010,
+) -> dict[str, dict[str, float]]:
+    """Optimized propagation with vs. without bandwidth-aware placement.
+
+    Returns ``{topology: {"oblivious": t, "bandwidth-aware": t,
+    "improvement_pct": x}}``.
+    """
+    graph = graph if graph is not None else standard_graph()
+    series: dict[str, dict[str, float]] = {}
+    for label, topo in topology_suite(num_machines).items():
+        result: dict[str, float] = {}
+        for layout in ("oblivious", "bandwidth-aware"):
+            wl = Workload(graph=graph, cluster=make_cluster(topo),
+                          num_parts=num_parts, seed=seed)
+            surfer = wl.surfer(layout)
+            app = make_app(app_name, "propagation")
+            job = surfer.run_propagation(
+                app, iterations=default_iterations(app_name),
+                local_opts=True,
+            )
+            result[layout] = job.metrics.response_time
+        base = result["oblivious"]
+        result["improvement_pct"] = (
+            100.0 * (1 - result["bandwidth-aware"] / base) if base else 0.0
+        )
+        series[label] = result
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — MapReduce vs propagation per application
+# ----------------------------------------------------------------------
+def fig7_mr_vs_prop(
+    workload: Workload | None = None,
+    apps=APP_ORDER,
+) -> dict[str, dict[str, float]]:
+    """Response time and network traffic: MapReduce vs. P-Surfer (O4).
+
+    Returns ``{app: {prop_time, mr_time, speedup, prop_net, mr_net,
+    net_reduction_pct}}``.
+    """
+    workload = workload or standard_workload()
+    surfer = workload.surfer("bandwidth-aware")
+    series: dict[str, dict[str, float]] = {}
+    for name in apps:
+        iters = default_iterations(name)
+        prop = surfer.run_propagation(
+            make_app(name, "propagation"), iterations=iters, local_opts=True
+        )
+        mr = surfer.run_mapreduce(make_app(name, "mapreduce"), rounds=iters)
+        prop_net = prop.metrics.network_bytes
+        mr_net = mr.metrics.network_bytes
+        series[name] = {
+            "prop_time": prop.metrics.response_time,
+            "mr_time": mr.metrics.response_time,
+            "speedup": (mr.metrics.response_time
+                        / max(prop.metrics.response_time, 1e-12)),
+            "prop_net": float(prop_net),
+            "mr_net": float(mr_net),
+            "net_reduction_pct": (
+                100.0 * (1 - prop_net / mr_net) if mr_net else 0.0
+            ),
+        }
+    return series
+
+
+# ----------------------------------------------------------------------
+# Section 6.3 — cascaded multi-iteration propagation
+# ----------------------------------------------------------------------
+def cascaded_propagation_experiment(
+    workload: Workload | None = None,
+    iterations=(2, 3, 4, 6),
+) -> dict[str, object]:
+    """NR with and without cascading; V_k ratio and per-count savings."""
+    workload = workload or standard_workload()
+    surfer = workload.surfer("bandwidth-aware")
+    info = compute_cascade_info(surfer.pgraph)
+    rows: dict[int, dict[str, float]] = {}
+    for iters in iterations:
+        plain = surfer.run_propagation(
+            make_app("NR", "propagation"), iterations=iters,
+            local_opts=True, cascaded=False,
+        )
+        cascaded = surfer.run_propagation(
+            make_app("NR", "propagation"), iterations=iters,
+            local_opts=True, cascaded=True,
+        )
+        assert np.allclose(plain.result, cascaded.result)
+        rows[iters] = {
+            "plain_time": plain.metrics.response_time,
+            "cascaded_time": cascaded.metrics.response_time,
+            "time_saving_pct": 100.0 * (
+                1 - cascaded.metrics.response_time
+                / max(plain.metrics.response_time, 1e-12)),
+            "plain_disk": float(plain.metrics.disk_bytes),
+            "cascaded_disk": float(cascaded.metrics.disk_bytes),
+            "disk_saving_pct": 100.0 * (
+                1 - cascaded.metrics.disk_bytes
+                / max(plain.metrics.disk_bytes, 1)),
+        }
+    return {
+        "v_k_ratio": info.ratio_v_k(2),
+        "d_min": info.d_min,
+        "iterations": rows,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — cross-pod delay sweep
+# ----------------------------------------------------------------------
+def fig9_delay_sweep(
+    delays=(2, 4, 8, 16, 32, 64, 128),
+    num_machines: int = 32,
+    num_parts: int = 64,
+    graph: Graph | None = None,
+    seed: int = 2010,
+) -> dict[int, dict[str, float]]:
+    """NR on T2(2,1) with the cross-pod delay factor varied."""
+    graph = graph if graph is not None else standard_graph()
+    series: dict[int, dict[str, float]] = {}
+    for delay in delays:
+        topo = t2(2, 1, num_machines, SCALED_LINK_BPS,
+                  top_factor=float(delay),
+                  mid_factor=max(1.0, delay / 2.0))
+        result: dict[str, float] = {}
+        for layout in ("oblivious", "bandwidth-aware"):
+            wl = Workload(graph=graph, cluster=make_cluster(topo),
+                          num_parts=num_parts, seed=seed)
+            job = wl.surfer(layout).run_propagation(
+                make_app("NR", "propagation"), iterations=1, local_opts=True
+            )
+            result[layout] = job.metrics.response_time
+        result["improvement_pct"] = 100.0 * (
+            1 - result["bandwidth-aware"] / max(result["oblivious"], 1e-12)
+        )
+        series[delay] = result
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 10 — fault tolerance
+# ----------------------------------------------------------------------
+def fig10_fault_tolerance(
+    workload: Workload | None = None,
+    kill_fraction: float = 0.33,
+    iterations: int = 3,
+) -> dict[str, object]:
+    """NR with a machine killed mid-run vs. the normal execution.
+
+    The kill fires at ``kill_fraction`` of the normal run's response time
+    (the paper kills at 235 s of a ~660 s run).  Returns both runs'
+    metrics, the recovery overhead, and disk-I/O-rate timelines.
+    """
+    workload = workload or standard_workload()
+    surfer = workload.surfer("bandwidth-aware")
+    normal = surfer.run_propagation(
+        make_app("NR", "propagation"), iterations=iterations,
+        local_opts=True,
+    )
+    kill_time = kill_fraction * normal.metrics.response_time
+    victim = int(surfer.store.primary(0))
+    plan = FaultPlan().add_kill(victim, kill_time)
+    # fresh store: the failure mutates replica metadata
+    faulty_surfer = Surfer(
+        workload.graph, workload.cluster, num_parts=workload.num_parts,
+        layout="bandwidth-aware", seed=workload.seed,
+    )
+    faulty = faulty_surfer.run_propagation(
+        make_app("NR", "propagation"), iterations=iterations,
+        local_opts=True, fault_plan=plan,
+    )
+    assert np.allclose(normal.result, faulty.result)
+    bucket = max(normal.metrics.response_time / 40.0, 1e-6)
+    overhead = (faulty.metrics.response_time
+                / max(normal.metrics.response_time, 1e-12) - 1.0)
+    return {
+        "victim": victim,
+        "kill_time": kill_time,
+        "normal_response": normal.metrics.response_time,
+        "faulty_response": faulty.metrics.response_time,
+        "overhead_pct": 100.0 * overhead,
+        "normal_timeline": io_rate_timeline(normal.executions, bucket),
+        "faulty_timeline": io_rate_timeline(faulty.executions, bucket),
+        # lost mid-flight executions plus tasks re-dispatched after the
+        # machine was declared dead between tasks
+        "failures": sum(1 for e in faulty.executions if not e.succeeded),
+        "retries": sum(
+            1 for e in faulty.executions
+            if e.task.name.endswith("#retry")
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 11 — scalability
+# ----------------------------------------------------------------------
+def fig11_scalability(
+    machine_counts=(8, 16, 24, 32),
+    seed: int = 2010,
+) -> dict[int, float]:
+    """P-Surfer NR response time with machines and graph scaled together."""
+    series: dict[int, float] = {}
+    for m in machine_counts:
+        graph = scaled_graph(m, seed=seed)
+        num_parts = parts_for(graph, m)
+        wl = Workload(graph=graph,
+                      cluster=make_cluster(t1(m, SCALED_LINK_BPS)),
+                      num_parts=num_parts, seed=seed)
+        job = wl.surfer("bandwidth-aware").run_propagation(
+            make_app("NR", "propagation"), iterations=1, local_opts=True
+        )
+        series[m] = job.metrics.response_time
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 12 — NR: MapReduce vs propagation across cluster sizes
+# ----------------------------------------------------------------------
+def fig12_nr_scaling(
+    machine_counts=(8, 16, 24, 32),
+    seed: int = 2010,
+    graph: Graph | None = None,
+) -> dict[int, dict[str, float]]:
+    """NR response time, MapReduce vs. P-Surfer, per cluster size."""
+    graph = graph if graph is not None else standard_graph()
+    series: dict[int, dict[str, float]] = {}
+    for m in machine_counts:
+        num_parts = parts_for(graph, m)
+        wl = Workload(graph=graph,
+                      cluster=make_cluster(t1(m, SCALED_LINK_BPS)),
+                      num_parts=num_parts, seed=seed)
+        surfer = wl.surfer("bandwidth-aware")
+        prop = surfer.run_propagation(
+            make_app("NR", "propagation"), iterations=1, local_opts=True
+        )
+        mr = surfer.run_mapreduce(make_app("NR", "mapreduce"), rounds=1)
+        series[m] = {
+            "prop_time": prop.metrics.response_time,
+            "mr_time": mr.metrics.response_time,
+            "speedup": (mr.metrics.response_time
+                        / max(prop.metrics.response_time, 1e-12)),
+        }
+    return series

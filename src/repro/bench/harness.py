@@ -1,0 +1,118 @@
+"""Experiment-result containers and plain-text table/series rendering.
+
+Every experiment function in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentTable` (for the paper's tables) or a dict of series (for
+its figures); the benchmark scripts print them in the same row/column
+arrangement the paper uses so shapes can be compared side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentTable", "format_value", "format_bytes",
+           "format_seconds", "render_bars"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled time: s / min / h."""
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f}min"
+    return f"{seconds / 3600:.2f}h"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-scaled bytes: B / KB / MB / GB."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(nbytes) < 1024 or unit == "TB":
+            return (f"{nbytes:.0f}{unit}" if unit == "B"
+                    else f"{nbytes:.2f}{unit}")
+        nbytes /= 1024
+    return f"{nbytes:.2f}TB"
+
+
+def format_value(value) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """A labelled table of experiment results."""
+
+    title: str
+    columns: list[str]
+    rows: list[tuple[str, list]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, label: str, values: list) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row '{label}' has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append((label, list(values)))
+
+    def cell(self, row_label: str, column: str):
+        """Fetch one cell by labels (used by assertions in benches)."""
+        col = self.columns.index(column)
+        for label, values in self.rows:
+            if label == row_label:
+                return values[col]
+        raise KeyError(row_label)
+
+    def render(self) -> str:
+        """Plain-text rendering with aligned columns."""
+        header = [""] + self.columns
+        body = [[label] + [format_value(v) for v in values]
+                for label, values in self.rows]
+        widths = [
+            max(len(str(row[i])) for row in [header] + body)
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(
+            str(cell).ljust(widths[i]) for i, cell in enumerate(header)
+        ).rstrip())
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(
+                str(cell).ljust(widths[i]) for i, cell in enumerate(row)
+            ).rstrip())
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_bars(
+    series: dict,
+    width: int = 46,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render ``{label: value}`` as an ASCII horizontal bar chart.
+
+    Used by the CLI and benches to show the paper's figures as text.
+    """
+    if not series:
+        return title
+    peak = max(float(v) for v in series.values()) or 1.0
+    label_width = max(len(str(k)) for k in series)
+    lines = [title] if title else []
+    for label, value in series.items():
+        value = float(value)
+        bar = "#" * max(1 if value > 0 else 0,
+                        int(round(value / peak * width)))
+        lines.append(
+            f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
+            f"{format_value(value)}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Canonical workloads for the reproduction experiments.
+
+The paper's evaluation runs on a 32-machine cluster, 64 partitions, and a
+>100 GB MSN snapshot (29.6 B edges) plus 100 GB synthetic composites.  The
+simulator's byte accounting is scale-free, so we use the paper's own
+synthetic recipe (Appendix F) at a tractable size and keep the paper's
+*ratios*: 2 partitions per machine, 5 % inter-community rewiring, 10 %
+vertex samples for TC/TFL.
+
+``standard_workload()`` is the shared configuration every table/figure
+bench uses unless it sweeps the relevant parameter itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.spec import GIGABIT_BPS, MachineSpec
+from repro.cluster.topology import Topology, t1, t2, t3
+from repro.core.surfer import Surfer
+from repro.graph.digraph import Graph
+from repro.graph.generators import composite_social_graph
+
+__all__ = [
+    "Workload",
+    "standard_graph",
+    "standard_workload",
+    "scaled_graph",
+    "topology_suite",
+    "make_cluster",
+    "PAPER_GRAPH_BYTES",
+    "HARDWARE_SCALE",
+    "SCALED_LINK_BPS",
+]
+
+# ||G|| for the Table 1 elapsed-time model: the paper's >100 GB graph.
+PAPER_GRAPH_BYTES = 128 * 1024**3
+
+# One simulated byte stands for this many real bytes: the standard graph
+# (~131 k edges, ~1.5 MB of adjacency) then occupies the same fraction of
+# the hardware as the paper's 29.6 B-edge, >100 GB MSN snapshot did, so
+# the network/disk/CPU balance — and hence every relative result — lands
+# in the paper's regime.  All rates are divided by the same factor, so no
+# ratio changes.
+HARDWARE_SCALE = 200_000.0
+
+# Per-pair network goodput during many-to-many exchange.  The testbed NIC
+# is 1 GbE, but shuffle-style traffic on a shared switch achieves a
+# fraction of line rate (incast and contention); ~40 MB/s effective pair
+# goodput is the conventional planning figure and is what makes network
+# I/O the dominant cost at the paper's scale.
+EFFECTIVE_PAIR_BPS = 40_000_000.0
+SCALED_LINK_BPS = EFFECTIVE_PAIR_BPS / HARDWARE_SCALE
+
+# The testbed machines carry two 1 TB SATA disks (Appendix F): aggregate
+# sequential rates around 180/150 MB/s.
+TESTBED_MACHINE = MachineSpec(
+    memory_bytes=8 * 1024**3,
+    disk_read_bps=180_000_000.0,
+    disk_write_bps=150_000_000.0,
+    cpu_ops_per_sec=50_000_000.0,
+    nic_bps=GIGABIT_BPS,
+)
+
+
+def make_cluster(topology: Topology) -> Cluster:
+    """A cluster with the regime-scaled machine spec."""
+    return Cluster(topology,
+                   machine_spec=TESTBED_MACHINE.scaled(HARDWARE_SCALE))
+
+#: defaults: 32 communities of 512 vertices, ~100k edges
+STANDARD_COMMUNITIES = 32
+STANDARD_COMMUNITY_SIZE = 512
+STANDARD_K = 8
+STANDARD_SEED = 2010
+
+
+# The recursive data bisection depends only on (graph, num_parts, seed) —
+# not on the topology or placement — so experiments sweeping topologies
+# reuse it.  Values pin their graph so ``id`` keys cannot be recycled.
+_BISECTION_CACHE: dict = {}
+
+
+def cached_bisection(graph: Graph, num_parts: int, seed: int):
+    """Memoized recursive bisection of a graph (identity-keyed)."""
+    from repro.partitioning.recursive import recursive_bisection
+    from repro.partitioning.wgraph import WGraph
+
+    key = (id(graph), num_parts, seed)
+    hit = _BISECTION_CACHE.get(key)
+    if hit is None or hit[0] is not graph:
+        data = recursive_bisection(
+            WGraph.from_digraph(graph), num_parts, seed=seed
+        )
+        _BISECTION_CACHE[key] = (graph, data)
+        return data
+    return hit[1]
+
+
+@dataclass
+class Workload:
+    """A graph deployed on a cluster under both layouts."""
+
+    graph: Graph
+    cluster: Cluster
+    num_parts: int
+    seed: int
+    _surfers: dict | None = None
+
+    def surfer(self, layout: str) -> Surfer:
+        """A (cached) Surfer instance for the given layout."""
+        if self._surfers is None:
+            self._surfers = {}
+        if layout not in self._surfers:
+            self._surfers[layout] = Surfer(
+                self.graph, self.cluster, num_parts=self.num_parts,
+                layout=layout, seed=self.seed,
+                data=cached_bisection(self.graph, self.num_parts,
+                                      self.seed),
+            )
+        return self._surfers[layout]
+
+
+_STANDARD_GRAPHS: dict[tuple[int, float], Graph] = {}
+
+
+def standard_graph(seed: int = STANDARD_SEED,
+                   scale: float = 1.0) -> Graph:
+    """The evaluation graph: the paper's composite social recipe.
+
+    Memoized per ``(seed, scale)`` so experiments sharing the default
+    graph also share its cached bisections.
+    """
+    key = (seed, scale)
+    if key not in _STANDARD_GRAPHS:
+        communities = max(2, int(STANDARD_COMMUNITIES * scale))
+        _STANDARD_GRAPHS[key] = composite_social_graph(
+            num_communities=communities,
+            community_size=STANDARD_COMMUNITY_SIZE,
+            k=STANDARD_K,
+            p_r=0.05,
+            seed=seed,
+        )
+    return _STANDARD_GRAPHS[key]
+
+
+def scaled_graph(num_machines: int, seed: int = STANDARD_SEED) -> Graph:
+    """Graph scaled proportionally to the machine count (Figure 11)."""
+    return standard_graph(seed=seed, scale=num_machines / 32.0)
+
+
+def standard_workload(
+    topology: Topology | None = None,
+    num_machines: int = 32,
+    num_parts: int = 64,
+    seed: int = STANDARD_SEED,
+    graph: Graph | None = None,
+) -> Workload:
+    """The default experiment setup: 32 machines, 64 partitions."""
+    if topology is None:
+        topology = t1(num_machines, link_bps=SCALED_LINK_BPS)
+    if graph is None:
+        graph = standard_graph(seed=seed)
+    return Workload(
+        graph=graph,
+        cluster=make_cluster(topology),
+        num_parts=num_parts,
+        seed=seed,
+    )
+
+
+def topology_suite(num_machines: int = 32,
+                   link_bps: float = SCALED_LINK_BPS) -> dict[str, Topology]:
+    """The five topologies of Table 1 / Figure 6 (regime-scaled links)."""
+    return {
+        "T1": t1(num_machines, link_bps),
+        "T2(2,1)": t2(2, 1, num_machines, link_bps),
+        "T2(4,1)": t2(4, 1, num_machines, link_bps),
+        "T2(4,2)": t2(4, 2, num_machines, link_bps),
+        "T3": t3(num_machines, link_bps),
+    }

@@ -1,0 +1,302 @@
+"""Command-line interface: run jobs and regenerate experiments.
+
+``python -m repro <command>``:
+
+* ``run`` — deploy a synthetic graph and run one application on a chosen
+  topology/primitive, printing metrics and the utilization report;
+* ``experiment`` — regenerate one of the paper's tables/figures;
+* ``partition`` — partition a graph and save the plan to a ``.npz`` file;
+* ``info`` — describe a saved plan;
+* ``graphinfo`` — profile a synthetic or edge-list graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APP_ORDER
+
+_TOPOLOGIES = ("T1", "T2(2,1)", "T2(4,1)", "T2(4,2)", "T3")
+_EXPERIMENTS = (
+    "table1", "table2", "table3", "table4", "table5",
+    "fig6", "fig7", "fig9", "fig10", "fig11", "fig12", "cascade",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Surfer reproduction: large graph processing in the "
+                    "cloud (SIGMOD 2010)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one application")
+    run.add_argument("app", choices=list(APP_ORDER) + ["CC", "DIAM"])
+    run.add_argument("--engine", choices=("propagation", "mapreduce"),
+                     default="propagation")
+    run.add_argument("--topology", choices=_TOPOLOGIES, default="T1")
+    run.add_argument("--layout",
+                     choices=("bandwidth-aware", "oblivious"),
+                     default="bandwidth-aware")
+    run.add_argument("--machines", type=int, default=16)
+    run.add_argument("--parts", type=int, default=32)
+    run.add_argument("--iterations", type=int, default=None)
+    run.add_argument("--communities", type=int, default=16)
+    run.add_argument("--community-size", type=int, default=256)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--no-local-opts", action="store_true")
+
+    exp = sub.add_parser("experiment",
+                         help="regenerate a paper table/figure")
+    exp.add_argument("name", choices=_EXPERIMENTS)
+
+    part = sub.add_parser("partition",
+                          help="partition a synthetic graph, save the plan")
+    part.add_argument("output", help="plan file (.npz)")
+    part.add_argument("--topology", choices=_TOPOLOGIES, default="T1")
+    part.add_argument("--machines", type=int, default=16)
+    part.add_argument("--parts", type=int, default=32)
+    part.add_argument("--layout",
+                      choices=("bandwidth-aware", "oblivious"),
+                      default="bandwidth-aware")
+    part.add_argument("--communities", type=int, default=16)
+    part.add_argument("--community-size", type=int, default=256)
+    part.add_argument("--seed", type=int, default=0)
+
+    info = sub.add_parser("info", help="describe a saved plan")
+    info.add_argument("plan", help="plan file (.npz)")
+
+    ginfo = sub.add_parser("graphinfo",
+                           help="profile a synthetic or edge-list graph")
+    ginfo.add_argument("--edge-list", default=None,
+                       help="read the graph from an edge-list file")
+    ginfo.add_argument("--communities", type=int, default=16)
+    ginfo.add_argument("--community-size", type=int, default=256)
+    ginfo.add_argument("--seed", type=int, default=0)
+    ginfo.add_argument("--no-ier", action="store_true",
+                       help="skip the (slow) partition-quality curve")
+    return parser
+
+
+def _make_topology(name: str, machines: int):
+    from repro.bench.workloads import SCALED_LINK_BPS
+    from repro.cluster.topology import t1, t2, t3
+
+    if name == "T1":
+        return t1(machines, SCALED_LINK_BPS)
+    if name == "T3":
+        return t3(machines, SCALED_LINK_BPS)
+    pods, levels = {
+        "T2(2,1)": (2, 1), "T2(4,1)": (4, 1), "T2(4,2)": (4, 2),
+    }[name]
+    return t2(pods, levels, machines, SCALED_LINK_BPS)
+
+
+def _make_graph(args, symmetrize: bool = False):
+    from repro.graph.generators import composite_social_graph
+
+    graph = composite_social_graph(
+        num_communities=args.communities,
+        community_size=args.community_size,
+        seed=args.seed,
+    )
+    return graph.symmetrized() if symmetrize else graph
+
+
+def _cmd_run(args) -> int:
+    from repro.apps import APP_REGISTRY, EXTENSION_APPS
+    from repro.bench.workloads import make_cluster
+    from repro.core import Surfer
+    from repro.runtime.monitor import JobMonitor
+
+    symmetrize = args.app in ("CC", "DIAM")
+    graph = _make_graph(args, symmetrize=symmetrize)
+    cluster = make_cluster(_make_topology(args.topology, args.machines))
+    surfer = Surfer(graph, cluster, num_parts=args.parts,
+                    layout=args.layout, seed=args.seed)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges"
+          f" | ier {surfer.pgraph.inner_edge_ratio:.1%}"
+          f" | {args.topology}, {args.machines} machines")
+
+    if args.app in APP_REGISTRY:
+        prop_cls, mr_cls, default_iters = APP_REGISTRY[args.app]
+        iterations = args.iterations or default_iters
+        until = False
+    else:
+        prop_cls, mr_cls = EXTENSION_APPS[args.app]
+        iterations = args.iterations or 50
+        until = True
+    if args.engine == "mapreduce":
+        if mr_cls is None:
+            print(f"{args.app} has no MapReduce implementation",
+                  file=sys.stderr)
+            return 2
+        job = surfer.run_mapreduce(mr_cls(), rounds=iterations,
+                                   until_convergence=until)
+    else:
+        job = surfer.run_propagation(
+            prop_cls(), iterations=iterations,
+            local_opts=not args.no_local_opts,
+            until_convergence=until,
+        )
+    m = job.metrics
+    print(f"response time : {m.response_time:12,.1f}s simulated")
+    print(f"machine time  : {m.total_machine_time:12,.1f}s")
+    print(f"network I/O   : {m.network_bytes:12,d} B")
+    print(f"disk I/O      : {m.disk_bytes:12,d} B")
+    print()
+    print(JobMonitor(job.executions).report())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.bench import experiments as ex
+
+    name = args.name
+    if name in ("table2", "table3"):
+        times, io = ex.app_matrix()
+        print((times if name == "table2" else io).render())
+        return 0
+    simple = {
+        "table1": ex.table1_partitioning,
+        "table4": ex.table4_loc,
+        "table5": ex.table5_ier,
+    }
+    if name in simple:
+        print(simple[name]().render())
+        return 0
+    if name == "fig6":
+        from repro.bench.harness import render_bars
+
+        for topo, r in ex.fig6_topologies().items():
+            print(render_bars(
+                {"oblivious": r["oblivious"],
+                 "bandwidth-aware": r["bandwidth-aware"]},
+                unit="s",
+                title=f"{topo} ({r['improvement_pct']:+.1f}%)",
+            ))
+            print()
+        return 0
+    if name == "fig7":
+        from repro.bench.harness import render_bars
+
+        series = ex.fig7_mr_vs_prop()
+        print(render_bars(
+            {app: r["speedup"] for app, r in series.items()},
+            unit="x", title="propagation speedup over MapReduce",
+        ))
+        print()
+        print(render_bars(
+            {app: r["net_reduction_pct"] for app, r in series.items()},
+            unit="%", title="network I/O reduction",
+        ))
+        return 0
+    if name == "fig9":
+        for delay, r in ex.fig9_delay_sweep().items():
+            print(f"delay {delay:4d}x  improvement "
+                  f"{r['improvement_pct']:+.1f}%")
+        return 0
+    if name == "fig10":
+        r = ex.fig10_fault_tolerance()
+        print(f"normal {r['normal_response']:,.1f}s, recovered "
+              f"{r['faulty_response']:,.1f}s "
+              f"(+{r['overhead_pct']:.1f}%), "
+              f"{r['failures'] + r['retries']} tasks re-executed")
+        return 0
+    if name == "fig11":
+        for m, t in ex.fig11_scalability().items():
+            print(f"{m:3d} machines: {t:10,.1f}s")
+        return 0
+    if name == "fig12":
+        for m, r in ex.fig12_nr_scaling().items():
+            print(f"{m:3d} machines: propagation {r['prop_time']:10,.1f}s"
+                  f"  mapreduce {r['mr_time']:10,.1f}s "
+                  f"({r['speedup']:.2f}x)")
+        return 0
+    if name == "cascade":
+        result = ex.cascaded_propagation_experiment()
+        print(f"V_k (k>=2) ratio {result['v_k_ratio']:.1%}, "
+              f"d_min {result['d_min']}")
+        for iters, r in result["iterations"].items():
+            print(f"{iters} iterations: time saving "
+                  f"{r['time_saving_pct']:.1f}%, disk saving "
+                  f"{r['disk_saving_pct']:.1f}%")
+        return 0
+    raise AssertionError(f"unhandled experiment {name}")
+
+
+def _cmd_partition(args) -> int:
+    import time
+
+    from repro.core.bandwidth_aware import (
+        bandwidth_aware_partition,
+        oblivious_partition,
+    )
+    from repro.core.persist import save_plan
+    from repro.partitioning.metrics import inner_edge_ratio
+
+    graph = _make_graph(args)
+    topology = _make_topology(args.topology, args.machines)
+    start = time.time()
+    build = (bandwidth_aware_partition if args.layout == "bandwidth-aware"
+             else oblivious_partition)
+    plan = build(graph, topology, args.parts, seed=args.seed)
+    elapsed = time.time() - start
+    save_plan(plan, args.output)
+    print(f"partitioned {graph.num_vertices} vertices / "
+          f"{graph.num_edges} edges into {plan.num_parts} parts "
+          f"in {elapsed:.1f}s wall")
+    print(f"inner edge ratio {inner_edge_ratio(graph, plan.parts):.1%}, "
+          f"layout {plan.method}")
+    print(f"plan saved to {args.output}")
+    return 0
+
+
+def _cmd_graphinfo(args) -> int:
+    from repro.graph.analysis import profile_graph
+    from repro.graph.io import read_edge_list
+
+    if args.edge_list:
+        graph = read_edge_list(args.edge_list)
+    else:
+        graph = _make_graph(args)
+    profile = profile_graph(graph, seed=args.seed,
+                            with_ier=not args.no_ier)
+    print(profile.report())
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import numpy as np
+
+    from repro.core.persist import load_plan
+
+    plan = load_plan(args.plan)
+    sizes = np.bincount(plan.parts, minlength=plan.num_parts)
+    print(f"method    : {plan.method}")
+    print(f"partitions: {plan.num_parts} "
+          f"(sizes {sizes.min()}..{sizes.max()} vertices)")
+    print(f"vertices  : {plan.parts.size}")
+    print(f"machines  : {len(set(int(m) for m in plan.placement))} used")
+    if plan.node_cuts:
+        root = plan.node_cuts.get((0, 0))
+        print(f"root cut  : {root} (weighted)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "experiment": _cmd_experiment,
+        "partition": _cmd_partition,
+        "info": _cmd_info,
+        "graphinfo": _cmd_graphinfo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

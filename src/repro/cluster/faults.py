@@ -1,0 +1,59 @@
+"""Fault injection for the fault-tolerance experiment (Figure 10).
+
+A :class:`FaultPlan` schedules machine kills at simulated times.  The job
+scheduler consults the plan while dispatching: a machine whose kill time has
+passed stops accepting tasks, its in-flight task is lost and re-queued, and
+the partition store promotes replicas — reproducing the paper's 'kill a
+slave node at 235 seconds' experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultInjectionError
+
+__all__ = ["FaultPlan", "MachineKill"]
+
+
+@dataclass(frozen=True)
+class MachineKill:
+    """Kill ``machine`` at simulated ``time`` seconds."""
+
+    machine: int
+    time: float
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of machine-kill events."""
+
+    kills: list[MachineKill] = field(default_factory=list)
+
+    def add_kill(self, machine: int, time: float) -> "FaultPlan":
+        if time < 0:
+            raise FaultInjectionError("kill time must be non-negative")
+        if machine < 0:
+            raise FaultInjectionError("machine id must be non-negative")
+        if any(k.machine == machine for k in self.kills):
+            raise FaultInjectionError(
+                f"machine {machine} already scheduled to fail"
+            )
+        self.kills.append(MachineKill(machine, time))
+        self.kills.sort(key=lambda k: k.time)
+        return self
+
+    def kill_time(self, machine: int) -> float | None:
+        """When ``machine`` dies, or None if it never does."""
+        for kill in self.kills:
+            if kill.machine == machine:
+                return kill.time
+        return None
+
+    def is_dead(self, machine: int, now: float) -> bool:
+        t = self.kill_time(machine)
+        return t is not None and now >= t
+
+    @property
+    def empty(self) -> bool:
+        return not self.kills

@@ -1,0 +1,50 @@
+"""Per-machine simulated state: clock and resource counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import MachineSpec
+
+__all__ = ["MachineState"]
+
+
+@dataclass
+class MachineState:
+    """Mutable simulation state of one slave machine.
+
+    ``clock`` is the machine-local simulated time: tasks dispatched to this
+    machine start no earlier than ``clock`` and push it forward.  ``alive``
+    is toggled by fault injection.  Counters feed the paper's disk-I/O and
+    total-machine-time metrics.
+    """
+
+    machine_id: int
+    spec: MachineSpec
+    clock: float = 0.0
+    alive: bool = True
+    failed_at: float | None = None
+    busy_time: float = 0.0
+    disk_read_bytes: int = 0
+    disk_write_bytes: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    cpu_ops: float = 0.0
+    tasks_executed: int = 0
+
+    def fail(self, at_time: float) -> None:
+        """Mark the machine dead as of ``at_time`` (heartbeat loss)."""
+        self.alive = False
+        self.failed_at = at_time
+
+    def reset(self) -> None:
+        self.clock = 0.0
+        self.alive = True
+        self.failed_at = None
+        self.busy_time = 0.0
+        self.disk_read_bytes = 0
+        self.disk_write_bytes = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.cpu_ops = 0.0
+        self.tasks_executed = 0

@@ -1,0 +1,79 @@
+"""Machine and cluster hardware specifications.
+
+Defaults mirror the paper's testbed (Appendix F): Quad Xeon machines with
+8 GB RAM, two 1 TB SATA disks and 1 Gb Ethernet.  The simulator expresses
+every resource as a rate so all costs reduce to simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+
+__all__ = ["MachineSpec", "GIGABIT_BPS", "DEFAULT_MACHINE"]
+
+# 1 Gb Ethernet in bytes/second.
+GIGABIT_BPS = 125_000_000.0
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware rates of one slave machine.
+
+    ``memory_bytes`` bounds the partition size (principle P2);
+    ``disk_read_bps`` / ``disk_write_bps`` are sequential disk rates;
+    ``cpu_ops_per_sec`` converts abstract work units (one processed edge or
+    record equals one unit) into time; ``nic_bps`` caps the NIC regardless
+    of what the topology offers.
+    """
+
+    memory_bytes: float = 8 * 1024**3
+    disk_read_bps: float = 100_000_000.0
+    disk_write_bps: float = 80_000_000.0
+    cpu_ops_per_sec: float = 50_000_000.0
+    nic_bps: float = GIGABIT_BPS
+    #: slowdown of disk operations on a partition whose working set does
+    #: not fit in memory (random instead of sequential I/O — principle P2)
+    random_io_penalty: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("disk_read_bps", "disk_write_bps",
+                     "cpu_ops_per_sec", "nic_bps"):
+            if getattr(self, name) <= 0:
+                raise TopologyError(f"{name} must be positive")
+        if self.memory_bytes <= 0:
+            raise TopologyError("memory_bytes must be positive")
+        if self.random_io_penalty < 1:
+            raise TopologyError("random_io_penalty must be >= 1")
+
+    def scaled(self, factor: float) -> "MachineSpec":
+        """A spec with every rate divided by ``factor``.
+
+        Used to run reduced-size workloads in the same *regime* as the
+        paper's testbed: dividing network, disk and CPU rates by the same
+        factor makes one simulated byte stand for ``factor`` real bytes
+        while preserving every rate ratio.
+        """
+        if factor <= 0:
+            raise TopologyError("scale factor must be positive")
+        return MachineSpec(
+            memory_bytes=self.memory_bytes / factor,
+            disk_read_bps=self.disk_read_bps / factor,
+            disk_write_bps=self.disk_write_bps / factor,
+            cpu_ops_per_sec=self.cpu_ops_per_sec / factor,
+            nic_bps=self.nic_bps / factor,
+            random_io_penalty=self.random_io_penalty,
+        )
+
+    def disk_read_time(self, nbytes: float) -> float:
+        return nbytes / self.disk_read_bps
+
+    def disk_write_time(self, nbytes: float) -> float:
+        return nbytes / self.disk_write_bps
+
+    def cpu_time(self, ops: float) -> float:
+        return ops / self.cpu_ops_per_sec
+
+
+DEFAULT_MACHINE = MachineSpec()

@@ -1,0 +1,90 @@
+"""Replicated partition store (the GFS-like layer).
+
+Each graph partition has one *primary* replica on the machine chosen by the
+placement algorithm plus ``replication - 1`` secondaries on distinct other
+machines, following GFS's scheme (Section 3).  On a machine failure the
+store promotes a surviving replica, which is what lets the job manager
+re-execute a task elsewhere (Appendix B, Figure 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PlacementError
+
+__all__ = ["PartitionStore"]
+
+
+class PartitionStore:
+    """Tracks replica locations of every partition on a cluster."""
+
+    def __init__(
+        self,
+        placement,
+        num_machines: int,
+        replication: int = 3,
+        seed: int = 0,
+    ):
+        """``placement[p]`` is partition ``p``'s primary machine."""
+        placement = np.asarray(placement, dtype=np.int64)
+        if replication < 1:
+            raise PlacementError("replication must be >= 1")
+        if replication > num_machines:
+            raise PlacementError(
+                "replication cannot exceed the number of machines"
+            )
+        if placement.size and (
+            placement.min() < 0 or placement.max() >= num_machines
+        ):
+            raise PlacementError("placement machine id out of range")
+        self.num_machines = num_machines
+        self.replication = replication
+        rng = np.random.default_rng(seed)
+        self._replicas: list[list[int]] = []
+        for p, primary in enumerate(placement):
+            others = [m for m in range(num_machines) if m != primary]
+            extra = rng.choice(
+                others, size=replication - 1, replace=False
+            ).tolist() if replication > 1 else []
+            self._replicas.append([int(primary)] + [int(m) for m in extra])
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._replicas)
+
+    def primary(self, partition: int) -> int:
+        """Current primary machine of ``partition``."""
+        return self._replicas[partition][0]
+
+    def replicas(self, partition: int) -> list[int]:
+        """All machines holding ``partition`` (primary first)."""
+        return list(self._replicas[partition])
+
+    def placement_array(self) -> np.ndarray:
+        """Primary machine per partition as an array."""
+        return np.array([r[0] for r in self._replicas], dtype=np.int64)
+
+    def partitions_on(self, machine: int) -> list[int]:
+        """Partitions whose *primary* replica lives on ``machine``."""
+        return [p for p, r in enumerate(self._replicas) if r[0] == machine]
+
+    def handle_failure(self, machine: int) -> list[int]:
+        """Drop ``machine`` from every replica set; promote survivors.
+
+        Returns the partitions whose primary moved.  Raises if any
+        partition would lose its last replica.
+        """
+        moved: list[int] = []
+        for p, reps in enumerate(self._replicas):
+            if machine not in reps:
+                continue
+            survivors = [m for m in reps if m != machine]
+            if not survivors:
+                raise PlacementError(
+                    f"partition {p} lost its last replica on machine {machine}"
+                )
+            if reps[0] == machine:
+                moved.append(p)
+            self._replicas[p] = survivors
+        return moved

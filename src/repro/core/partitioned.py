@@ -1,0 +1,182 @@
+"""The partitioned graph and its per-partition locality structures.
+
+Along with each partition Surfer keeps (Section 5.1):
+
+* a hash table of the partition's *boundary vertices* (vertices touched by
+  at least one cross-partition edge), used to decide local propagation;
+* a map ``(v, pid)`` from each destination vertex of a cross-partition edge
+  to the remote partition holding it, used to group and route messages.
+
+Appendix B additionally encodes vertex ids so each partition owns a
+consecutive id range, making vertex->partition lookup a binary search over
+``P`` prefix sums instead of a global table; :class:`VertexEncoding`
+implements that scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.graph.digraph import Graph
+from repro.graph.io import DEGREE_BYTES, VERTEX_ID_BYTES
+from repro.partitioning.metrics import validate_assignment
+
+__all__ = ["PartitionedGraph", "VertexEncoding"]
+
+
+class VertexEncoding:
+    """Consecutive-range vertex id encoding (Appendix B).
+
+    The ``j``-th vertex of partition ``i`` gets id
+    ``sum(sizes[:i]) + j``; finding a vertex's partition is then a
+    ``searchsorted`` over the ``P + 1`` offsets.
+    """
+
+    def __init__(self, parts: np.ndarray, num_parts: int):
+        parts = np.asarray(parts, dtype=np.int64)
+        order = np.argsort(parts, kind="stable")
+        self.new_to_old = order
+        self.old_to_new = np.empty_like(order)
+        self.old_to_new[order] = np.arange(order.size, dtype=np.int64)
+        sizes = np.bincount(parts, minlength=num_parts)
+        self.offsets = np.zeros(num_parts + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.offsets[1:])
+
+    def encode(self, old_id: int) -> int:
+        return int(self.old_to_new[old_id])
+
+    def decode(self, new_id: int) -> int:
+        return int(self.new_to_old[new_id])
+
+    def partition_of(self, new_id: int) -> int:
+        """Partition owning an *encoded* id, via binary search."""
+        p = int(np.searchsorted(self.offsets, new_id, side="right") - 1)
+        if not 0 <= new_id < self.offsets[-1]:
+            raise PartitioningError(f"encoded id {new_id} out of range")
+        return p
+
+    def encode_graph(self, graph: Graph) -> Graph:
+        """Relabel a graph into the encoded id space."""
+        src = self.old_to_new[graph.edge_sources()]
+        dst = self.old_to_new[graph.out_indices]
+        return Graph.from_edges(
+            np.stack([src, dst], axis=1), num_vertices=graph.num_vertices
+        )
+
+
+class PartitionedGraph:
+    """A graph split into ``num_parts`` partitions with locality metadata."""
+
+    def __init__(self, graph: Graph, parts: np.ndarray, num_parts: int):
+        self.graph = graph
+        self.parts = validate_assignment(parts, graph.num_vertices, num_parts)
+        self.num_parts = num_parts
+
+        src = graph.edge_sources()
+        dst = graph.out_indices
+        self.edge_src_part = self.parts[src] if src.size else src
+        self.edge_dst_part = self.parts[dst] if dst.size else dst
+        cross = self.edge_src_part != self.edge_dst_part
+
+        # Boundary vertices: touched by any cross-partition edge.
+        boundary = np.zeros(graph.num_vertices, dtype=bool)
+        if src.size:
+            boundary[src[cross]] = True
+            boundary[dst[cross]] = True
+        self.boundary_mask = boundary
+
+        self.partition_vertices: list[np.ndarray] = [
+            np.flatnonzero(self.parts == p) for p in range(num_parts)
+        ]
+        # paper's per-partition structures
+        self.boundary_tables: list[set[int]] = [
+            set(int(v) for v in verts[boundary[verts]])
+            for verts in self.partition_vertices
+        ]
+        self.cross_dest_maps: list[dict[int, int]] = [
+            {} for _ in range(num_parts)
+        ]
+        if src.size:
+            for e in np.flatnonzero(cross):
+                p = int(self.edge_src_part[e])
+                self.cross_dest_maps[p][int(dst[e])] = int(self.edge_dst_part[e])
+
+        self._edge_src = src
+        self._edge_dst = dst
+        self._edges_by_partition: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_cross_edges(self) -> int:
+        return int(np.count_nonzero(self.edge_src_part != self.edge_dst_part))
+
+    @property
+    def inner_vertex_ratio(self) -> float:
+        """Fraction of vertices eligible for local propagation."""
+        n = self.num_vertices
+        if n == 0:
+            return 1.0
+        return 1.0 - float(self.boundary_mask.sum()) / n
+
+    @property
+    def inner_edge_ratio(self) -> float:
+        m = self.graph.num_edges
+        if m == 0:
+            return 1.0
+        return 1.0 - self.num_cross_edges / m
+
+    def partition_of(self, vertex: int) -> int:
+        return int(self.parts[vertex])
+
+    def is_inner(self, vertex: int) -> bool:
+        return not bool(self.boundary_mask[vertex])
+
+    def partition_size(self, p: int) -> int:
+        return self.partition_vertices[p].size
+
+    def partition_edges(self, p: int) -> tuple[np.ndarray, np.ndarray]:
+        """Out-edges whose source lies in partition ``p`` as (src, dst)."""
+        idx = self._partition_edge_index(p)
+        return self._edge_src[idx], self._edge_dst[idx]
+
+    def partition_edge_count(self, p: int) -> int:
+        return self._partition_edge_index(p).size
+
+    def _partition_edge_index(self, p: int) -> np.ndarray:
+        if self._edges_by_partition is None:
+            self._edges_by_partition = [
+                np.flatnonzero(self.edge_src_part == q)
+                for q in range(self.num_parts)
+            ]
+        return self._edges_by_partition[p]
+
+    def partition_bytes(self, p: int) -> int:
+        """Adjacency-list bytes of partition ``p`` (its disk footprint)."""
+        n_p = self.partition_size(p)
+        m_p = self.partition_edge_count(p)
+        return n_p * (VERTEX_ID_BYTES + DEGREE_BYTES) + m_p * VERTEX_ID_BYTES
+
+    def encoding(self) -> VertexEncoding:
+        """Consecutive-range id encoding for this partitioning."""
+        return VertexEncoding(self.parts, self.num_parts)
+
+    def validate(self) -> None:
+        """Internal-consistency checks (used by tests)."""
+        total = sum(v.size for v in self.partition_vertices)
+        if total != self.num_vertices:
+            raise PartitioningError("partition vertex lists do not cover V")
+        for p, table in enumerate(self.boundary_tables):
+            for v in table:
+                if self.parts[v] != p:
+                    raise PartitioningError(
+                        "boundary table lists a foreign vertex"
+                    )
+        for p, destmap in enumerate(self.cross_dest_maps):
+            for v, pid in destmap.items():
+                if self.parts[v] != pid or pid == p:
+                    raise PartitioningError("(v, pid) map inconsistent")

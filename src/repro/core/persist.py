@@ -1,0 +1,89 @@
+"""Persistence for partition plans (deployment artifacts).
+
+Partitioning a 100 GB graph takes hours (Table 1); the resulting plan —
+the vertex→partition assignment, the machine placement and the sketch
+metadata — is the artifact every later job reuses.  This module
+serializes a :class:`~repro.core.bandwidth_aware.PartitionPlan` to a
+single ``.npz`` container (arrays stay binary, metadata rides along as
+JSON) and restores it bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bandwidth_aware import PartitionPlan
+from repro.errors import PlacementError
+
+__all__ = ["save_plan", "load_plan"]
+
+_FORMAT_VERSION = 1
+
+
+def save_plan(plan: PartitionPlan, path: str | Path) -> None:
+    """Write ``plan`` to ``path`` (a ``.npz`` file)."""
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "num_parts": plan.num_parts,
+        "method": plan.method,
+        "machine_sets": [
+            [level, prefix, machines]
+            for (level, prefix), machines in sorted(plan.machine_sets.items())
+        ],
+        "node_cuts": [
+            [level, prefix, int(cut)]
+            for (level, prefix), cut in sorted(plan.node_cuts.items())
+        ],
+        "node_sizes": [
+            [level, prefix, int(size)]
+            for (level, prefix), size in sorted(plan.node_sizes.items())
+        ],
+    }
+    np.savez_compressed(
+        path,
+        parts=plan.parts,
+        placement=plan.placement,
+        metadata=np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+    )
+
+
+def load_plan(path: str | Path) -> PartitionPlan:
+    """Read a plan written by :func:`save_plan`."""
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise PlacementError(f"cannot read plan file {path}: {exc}") from exc
+    try:
+        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        parts = archive["parts"].astype(np.int64)
+        placement = archive["placement"].astype(np.int64)
+    except KeyError as exc:
+        raise PlacementError(f"{path} is not a plan file") from exc
+    if metadata.get("format_version") != _FORMAT_VERSION:
+        raise PlacementError(
+            f"unsupported plan format version "
+            f"{metadata.get('format_version')}"
+        )
+    return PartitionPlan(
+        parts=parts,
+        num_parts=int(metadata["num_parts"]),
+        placement=placement,
+        machine_sets={
+            (level, prefix): list(machines)
+            for level, prefix, machines in metadata["machine_sets"]
+        },
+        node_cuts={
+            (level, prefix): cut
+            for level, prefix, cut in metadata["node_cuts"]
+        },
+        node_sizes={
+            (level, prefix): size
+            for level, prefix, size in metadata["node_sizes"]
+        },
+        method=metadata["method"],
+    )

@@ -1,0 +1,270 @@
+"""The Surfer engine facade (Section 3, Figure 1).
+
+``Surfer`` owns a partitioned, replicated, placed graph on a simulated
+cluster and executes jobs written against either primitive:
+
+* :meth:`Surfer.run_propagation` — iterative propagation with the paper's
+  optimization levels (local propagation + local combination on/off) and
+  optional cascaded multi-iteration execution;
+* :meth:`Surfer.run_mapreduce` — rounds of the home-grown MapReduce.
+
+The four optimization levels of Section 6.3 decompose into two independent
+choices reproduced here: the *layout* (bandwidth-aware vs. ParMetis-like
+oblivious placement — fixed when the Surfer instance is built) and the
+*local optimizations* flag passed per run:
+
+====  ===================  ===================
+O     layout               local optimizations
+====  ===================  ===================
+O1    oblivious            off
+O2    bandwidth-aware      off
+O3    oblivious            on
+O4    bandwidth-aware      on
+====  ===================  ===================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import JobError
+from repro.cluster.cluster import Cluster, ClusterMetrics
+from repro.cluster.faults import FaultPlan
+from repro.cluster.storage import PartitionStore
+from repro.core.bandwidth_aware import (
+    PartitionPlan,
+    bandwidth_aware_partition,
+    oblivious_partition,
+)
+from repro.core.partitioned import PartitionedGraph
+from repro.core.placement import (
+    estimate_partition_costs,
+    rebalance_placement,
+    refine_colocated_placement,
+)
+from repro.graph.digraph import Graph
+from repro.mapreduce.api import MapReduceApp
+from repro.mapreduce.engine import MapReduceEngine, RoundReport
+from repro.propagation.api import PropagationApp
+from repro.propagation.cascade import (
+    cascade_io_fractions,
+    compute_cascade_info,
+)
+from repro.propagation.engine import IterationReport, PropagationEngine
+from repro.runtime.scheduler import StageScheduler
+from repro.runtime.tasks import TaskExecution
+
+__all__ = ["OptimizationLevel", "O1", "O2", "O3", "O4", "ALL_LEVELS",
+           "JobResult", "Surfer"]
+
+
+@dataclass(frozen=True)
+class OptimizationLevel:
+    """One of the paper's O1–O4 configurations."""
+
+    name: str
+    bandwidth_aware_layout: bool
+    local_optimizations: bool
+
+
+O1 = OptimizationLevel("O1", bandwidth_aware_layout=False,
+                       local_optimizations=False)
+O2 = OptimizationLevel("O2", bandwidth_aware_layout=True,
+                       local_optimizations=False)
+O3 = OptimizationLevel("O3", bandwidth_aware_layout=False,
+                       local_optimizations=True)
+O4 = OptimizationLevel("O4", bandwidth_aware_layout=True,
+                       local_optimizations=True)
+ALL_LEVELS = (O1, O2, O3, O4)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one Surfer job."""
+
+    result: Any
+    metrics: ClusterMetrics
+    reports: list = field(default_factory=list)
+    executions: list[TaskExecution] = field(default_factory=list)
+
+    @property
+    def response_time(self) -> float:
+        return self.metrics.response_time
+
+    @property
+    def total_machine_time(self) -> float:
+        return self.metrics.total_machine_time
+
+
+class Surfer:
+    """A partitioned graph deployed on a simulated cluster."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        cluster: Cluster,
+        num_parts: int | None = None,
+        layout: str = "bandwidth-aware",
+        seed: int = 0,
+        replication: int = 3,
+        bisection_options=None,
+        plan: PartitionPlan | None = None,
+        data=None,
+    ):
+        self.graph = graph
+        self.cluster = cluster
+        if num_parts is None:
+            num_parts = default_num_parts(cluster.num_machines)
+        if plan is None:
+            if layout == "bandwidth-aware":
+                plan = bandwidth_aware_partition(
+                    graph, cluster.topology, num_parts, seed=seed,
+                    options=bisection_options, data=data,
+                )
+            elif layout == "oblivious":
+                plan = oblivious_partition(
+                    graph, cluster.topology, num_parts, seed=seed,
+                    options=bisection_options, data=data,
+                )
+            else:
+                raise JobError(
+                    "layout must be 'bandwidth-aware' or 'oblivious'"
+                )
+        self.plan = plan
+        self.pgraph = PartitionedGraph(graph, plan.parts, plan.num_parts)
+        # Intra-pod straggler relief: swap partitions between machines of
+        # the same pod (bandwidth-neutral) when a machine would otherwise
+        # pin the makespan - e.g. a co-located pair of hub partitions.
+        plan.placement = refine_colocated_placement(
+            self.pgraph, plan.placement, cluster.topology
+        )
+        replication = min(replication, cluster.num_machines)
+        self.store = PartitionStore(
+            plan.placement, cluster.num_machines, replication, seed
+        )
+        # The job manager dispatches each partition's tasks to the least
+        # loaded replica holder (bottleneck relief; Appendix B).
+        # Dispatch-level relief stays replica-local: non-local execution
+        # would drag partitions across pods, which the placement-level
+        # refinement above already rules out deliberately.
+        self.assignment = rebalance_placement(
+            self.store, estimate_partition_costs(self.pgraph)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_parts(self) -> int:
+        return self.pgraph.num_parts
+
+    @property
+    def layout(self) -> str:
+        return self.plan.method
+
+    # ------------------------------------------------------------------
+    def run_propagation(
+        self,
+        app: PropagationApp,
+        iterations: int = 1,
+        local_opts: bool = True,
+        cascaded: bool = False,
+        fault_plan: FaultPlan | None = None,
+        until_convergence: bool = False,
+        pipelined: bool = False,
+    ) -> JobResult:
+        """Run ``iterations`` of propagation; returns the app's result.
+
+        ``cascaded=True`` enables the Section 5.2 multi-iteration
+        optimization (identical results, reduced intermediate value I/O).
+        With ``until_convergence=True``, ``iterations`` becomes an upper
+        bound and the loop stops early once the app's ``converged(state)``
+        hook returns True (apps without the hook run all iterations).
+        ``pipelined=True`` overlaps disk/CPU/network phases across a
+        machine's consecutive tasks (see StageScheduler).
+        """
+        if iterations < 1:
+            raise JobError("iterations must be >= 1")
+        converged = getattr(app, "converged", None)
+        if until_convergence and converged is None:
+            raise JobError(
+                f"{app.name}: until_convergence needs a converged() hook"
+            )
+        self.cluster.reset()
+        scheduler = StageScheduler(self.cluster, fault_plan, self.store,
+                                   pipelined=pipelined)
+        state = app.setup(self.pgraph)
+
+        fractions = None
+        if cascaded and iterations > 1:
+            info = compute_cascade_info(self.pgraph)
+            phase = min(info.d_min, iterations)
+            fractions = cascade_io_fractions(self.pgraph, info, phase)
+        engine = PropagationEngine(
+            self.pgraph, self.store, self.cluster,
+            local_opts=local_opts, values_io_fraction=fractions,
+            assignment=self.assignment,
+        )
+
+        reports: list[IterationReport] = []
+        for _ in range(iterations):
+            combined, report = engine.run_iteration(app, state, scheduler)
+            app.update(state, combined)
+            reports.append(report)
+            if until_convergence and converged(state):
+                break
+        return JobResult(
+            result=app.finalize(state),
+            metrics=self.cluster.metrics(),
+            reports=reports,
+            executions=scheduler.executions,
+        )
+
+    def run_mapreduce(
+        self,
+        app: MapReduceApp,
+        rounds: int = 1,
+        fault_plan: FaultPlan | None = None,
+        until_convergence: bool = False,
+        pipelined: bool = False,
+    ) -> JobResult:
+        """Run ``rounds`` of MapReduce; returns the app's result.
+
+        ``until_convergence`` and ``pipelined`` mirror
+        :meth:`run_propagation`.
+        """
+        if rounds < 1:
+            raise JobError("rounds must be >= 1")
+        converged = getattr(app, "converged", None)
+        if until_convergence and converged is None:
+            raise JobError(
+                f"{app.name}: until_convergence needs a converged() hook"
+            )
+        self.cluster.reset()
+        scheduler = StageScheduler(self.cluster, fault_plan, self.store,
+                                   pipelined=pipelined)
+        state = app.setup(self.pgraph)
+        reports: list[RoundReport] = []
+        engine = MapReduceEngine(self.pgraph, self.store, self.cluster,
+                                 assignment=self.assignment)
+        for _ in range(rounds):
+            outputs, report = engine.run_round(app, state, scheduler)
+            app.update(state, outputs)
+            reports.append(report)
+            if until_convergence and converged(state):
+                break
+        return JobResult(
+            result=app.finalize(state),
+            metrics=self.cluster.metrics(),
+            reports=reports,
+            executions=scheduler.executions,
+        )
+
+
+def default_num_parts(num_machines: int) -> int:
+    """Two partitions per machine, rounded up to a power of two.
+
+    The paper uses 64 partitions on 32 machines (2 GB partitions on 8 GB
+    machines); two-per-machine keeps that ratio at any cluster size.
+    """
+    target = max(2, 2 * num_machines)
+    return 1 << (target - 1).bit_length()

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the Surfer reproduction.
+
+All library-raised exceptions derive from :class:`SurferError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class SurferError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(SurferError):
+    """Malformed graph input or an operation invalid for a given graph."""
+
+
+class GraphFormatError(GraphError):
+    """A serialized graph (adjacency text/binary) could not be parsed."""
+
+
+class PartitioningError(SurferError):
+    """A partitioning request could not be satisfied."""
+
+
+class TopologyError(SurferError):
+    """Invalid cluster/topology specification."""
+
+
+class PlacementError(SurferError):
+    """Partition-to-machine placement is inconsistent or impossible."""
+
+
+class SchedulingError(SurferError):
+    """The job scheduler was asked to do something impossible."""
+
+
+class JobError(SurferError):
+    """A job specification is invalid (bad UDFs, missing annotations...)."""
+
+
+class FaultInjectionError(SurferError):
+    """Invalid fault-injection request (e.g. killing an unknown machine)."""

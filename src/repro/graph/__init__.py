@@ -1,0 +1,72 @@
+"""Graph substrate: CSR digraphs, generators, serialization, algorithms."""
+
+from repro.graph.digraph import Graph
+from repro.graph.builder import GraphBuilder, relabel_edges
+from repro.graph.generators import (
+    composite_social_graph,
+    erdos_renyi,
+    grid,
+    ring,
+    rmat,
+    small_world,
+    star,
+)
+from repro.graph.io import (
+    adjacency_record_bytes,
+    graph_storage_bytes,
+    read_edge_list,
+    write_edge_list,
+    read_adjacency_binary,
+    read_adjacency_text,
+    write_adjacency_binary,
+    write_adjacency_text,
+)
+from repro.graph.analysis import (
+    GraphProfile,
+    clustering_coefficient,
+    ier_curve,
+    profile_graph,
+)
+from repro.graph.algorithms import (
+    bfs_levels,
+    count_triangles,
+    degree_histogram,
+    estimate_diameter,
+    multi_source_bfs,
+    pagerank,
+    two_hop_neighbors,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "relabel_edges",
+    "composite_social_graph",
+    "erdos_renyi",
+    "grid",
+    "ring",
+    "rmat",
+    "small_world",
+    "star",
+    "adjacency_record_bytes",
+    "graph_storage_bytes",
+    "read_adjacency_binary",
+    "read_adjacency_text",
+    "read_edge_list",
+    "write_edge_list",
+    "write_adjacency_binary",
+    "write_adjacency_text",
+    "GraphProfile",
+    "clustering_coefficient",
+    "ier_curve",
+    "profile_graph",
+    "bfs_levels",
+    "count_triangles",
+    "degree_histogram",
+    "estimate_diameter",
+    "multi_source_bfs",
+    "pagerank",
+    "two_hop_neighbors",
+    "weakly_connected_components",
+]

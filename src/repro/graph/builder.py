@@ -1,0 +1,104 @@
+"""Incremental graph construction.
+
+:class:`Graph` is immutable (partitioners and engines share it freely);
+:class:`GraphBuilder` is the mutable front door — accumulate edges from
+any source (streams, per-chunk files, programmatic generators), then
+``build()`` the immutable CSR once.  Also provides ``relabel`` for
+compacting sparse external vertex ids (real edge lists rarely use dense
+``0..n-1`` ids).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph
+
+__all__ = ["GraphBuilder", "relabel_edges"]
+
+
+def relabel_edges(
+    edges: Iterable[tuple[Hashable, Hashable]],
+) -> tuple[np.ndarray, list]:
+    """Map arbitrary hashable vertex ids onto dense ``0..n-1`` ids.
+
+    Returns ``(edge_array, id_table)`` where ``id_table[new_id]`` is the
+    original id (first-appearance order).
+    """
+    mapping: dict[Hashable, int] = {}
+    table: list = []
+    out: list[tuple[int, int]] = []
+    for u, v in edges:
+        for x in (u, v):
+            if x not in mapping:
+                mapping[x] = len(table)
+                table.append(x)
+        out.append((mapping[u], mapping[v]))
+    arr = (np.array(out, dtype=np.int64) if out
+           else np.zeros((0, 2), dtype=np.int64))
+    return arr, table
+
+
+class GraphBuilder:
+    """Accumulates edges in chunks and builds an immutable CSR graph."""
+
+    def __init__(self, num_vertices: int | None = None):
+        self._explicit_n = num_vertices
+        self._chunks: list[np.ndarray] = []
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def add_edge(self, src: int, dst: int) -> "GraphBuilder":
+        return self.add_edges([(src, dst)])
+
+    def add_edges(self, edges) -> "GraphBuilder":
+        """Append a chunk of ``(src, dst)`` pairs."""
+        arr = np.asarray(
+            list(edges) if not isinstance(edges, np.ndarray) else edges,
+            dtype=np.int64,
+        )
+        if arr.size == 0:
+            return self
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphError("edges must be (m, 2) pairs")
+        if arr.min() < 0:
+            raise GraphError("vertex ids must be non-negative")
+        if (self._explicit_n is not None
+                and arr.max() >= self._explicit_n):
+            raise GraphError("edge endpoint exceeds num_vertices")
+        self._chunks.append(arr)
+        self._count += arr.shape[0]
+        return self
+
+    def add_graph(self, graph: Graph, offset: int = 0) -> "GraphBuilder":
+        """Append every edge of ``graph``, ids shifted by ``offset``."""
+        if graph.num_edges:
+            self.add_edges(graph.edges() + offset)
+        elif self._explicit_n is None:
+            # remember the isolated vertices implied by the graph
+            self._chunks.append(np.zeros((0, 2), dtype=np.int64))
+        return self
+
+    @property
+    def num_edges_added(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    def build(self, dedup: bool = True,
+              drop_self_loops: bool = False) -> Graph:
+        """Materialize the immutable graph; the builder stays reusable."""
+        if self._chunks:
+            edges = np.concatenate(
+                [c for c in self._chunks if c.size] or
+                [np.zeros((0, 2), dtype=np.int64)]
+            )
+        else:
+            edges = np.zeros((0, 2), dtype=np.int64)
+        n = self._explicit_n
+        if n is None:
+            n = int(edges.max() + 1) if edges.size else 0
+        return Graph.from_edges(edges, num_vertices=n, dedup=dedup,
+                                drop_self_loops=drop_self_loops)

@@ -1,0 +1,278 @@
+"""Directed graph in compressed-sparse-row (CSR) form.
+
+This is the core in-memory representation used throughout the reproduction.
+Surfer stores graphs as adjacency lists ``<ID, d, neighbors>`` (Section 3 of
+the paper); CSR is the natural columnar equivalent: one ``int64`` index array
+per direction plus an offsets array.  Graphs are immutable once built, which
+lets partitioners, engines and the simulator share them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["Graph"]
+
+
+def _build_csr(
+    src: np.ndarray, dst: np.ndarray, num_vertices: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build (indptr, indices) sorted by source vertex, then destination."""
+    order = np.lexsort((dst, src))
+    src_sorted = src[order]
+    indices = dst[order]
+    counts = np.bincount(src_sorted, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, indices.astype(np.int64, copy=False)
+
+
+class Graph:
+    """An immutable directed graph over vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    out_indptr, out_indices:
+        CSR arrays of the out-adjacency.  ``out_indices[out_indptr[v] :
+        out_indptr[v + 1]]`` are the out-neighbors of ``v``.
+
+    Use :meth:`from_edges` to construct from an edge list.  The in-adjacency
+    is built lazily on first access and cached.
+    """
+
+    __slots__ = ("out_indptr", "out_indices", "_in_indptr", "_in_indices")
+
+    def __init__(self, out_indptr: np.ndarray, out_indices: np.ndarray):
+        out_indptr = np.asarray(out_indptr, dtype=np.int64)
+        out_indices = np.asarray(out_indices, dtype=np.int64)
+        if out_indptr.ndim != 1 or out_indices.ndim != 1:
+            raise GraphError("CSR arrays must be one-dimensional")
+        if out_indptr.size == 0:
+            raise GraphError("indptr must have at least one entry")
+        if out_indptr[0] != 0 or out_indptr[-1] != out_indices.size:
+            raise GraphError("indptr does not cover the indices array")
+        if np.any(np.diff(out_indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        n = out_indptr.size - 1
+        if out_indices.size and (
+            out_indices.min() < 0 or out_indices.max() >= n
+        ):
+            raise GraphError("edge endpoint out of range")
+        self.out_indptr = out_indptr
+        self.out_indices = out_indices
+        self._in_indptr: np.ndarray | None = None
+        self._in_indices: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        num_vertices: int | None = None,
+        dedup: bool = False,
+        drop_self_loops: bool = False,
+    ) -> "Graph":
+        """Build a graph from ``(src, dst)`` pairs.
+
+        ``edges`` may be any iterable of pairs or an ``(m, 2)`` array.
+        ``num_vertices`` defaults to ``max endpoint + 1``.
+        """
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if arr.size == 0:
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise GraphError("edges must be (m, 2) pairs")
+        src = arr[:, 0].astype(np.int64, copy=False)
+        dst = arr[:, 1].astype(np.int64, copy=False)
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise GraphError("vertex ids must be non-negative")
+        if num_vertices is None:
+            num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+        elif src.size and max(src.max(), dst.max()) >= num_vertices:
+            raise GraphError("edge endpoint exceeds num_vertices")
+        if drop_self_loops and src.size:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        if dedup and src.size:
+            pairs = np.unique(np.stack([src, dst], axis=1), axis=0)
+            src, dst = pairs[:, 0], pairs[:, 1]
+        indptr, indices = _build_csr(src, dst, num_vertices)
+        return cls(indptr, indices)
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "Graph":
+        """A graph with ``num_vertices`` vertices and no edges."""
+        return cls(np.zeros(num_vertices + 1, dtype=np.int64),
+                   np.zeros(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.out_indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.out_indices.size
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Adjacency access
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` (a CSR slice; do not mutate)."""
+        return self.out_indices[self.out_indptr[v]: self.out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbors of ``v`` (a CSR slice; do not mutate)."""
+        self._ensure_in_csr()
+        assert self._in_indptr is not None and self._in_indices is not None
+        return self._in_indices[self._in_indptr[v]: self._in_indptr[v + 1]]
+
+    def out_degree(self, v: int) -> int:
+        return int(self.out_indptr[v + 1] - self.out_indptr[v])
+
+    def in_degree(self, v: int) -> int:
+        self._ensure_in_csr()
+        assert self._in_indptr is not None
+        return int(self._in_indptr[v + 1] - self._in_indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as an ``int64`` array."""
+        return np.diff(self.out_indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex as an ``int64`` array."""
+        self._ensure_in_csr()
+        assert self._in_indptr is not None
+        return np.diff(self._in_indptr)
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        self._ensure_in_csr()
+        assert self._in_indptr is not None
+        return self._in_indptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        self._ensure_in_csr()
+        assert self._in_indices is not None
+        return self._in_indices
+
+    def _ensure_in_csr(self) -> None:
+        if self._in_indptr is None:
+            src = self.edge_sources()
+            self._in_indptr, self._in_indices = _build_csr(
+                self.out_indices, src, self.num_vertices
+            )
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every edge, aligned with ``out_indices``."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), self.out_degrees()
+        )
+
+    def edges(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array in CSR order."""
+        return np.stack([self.edge_sources(), self.out_indices], axis=1)
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(src, dst)`` tuples in CSR order."""
+        indptr, indices = self.out_indptr, self.out_indices
+        for v in range(self.num_vertices):
+            for j in range(indptr[v], indptr[v + 1]):
+                yield v, int(indices[j])
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        row = self.out_neighbors(src)
+        idx = np.searchsorted(row, dst)
+        return bool(idx < row.size and row[idx] == dst)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "Graph":
+        """The graph with every edge reversed (the RLG application output)."""
+        self._ensure_in_csr()
+        assert self._in_indptr is not None and self._in_indices is not None
+        return Graph(self._in_indptr.copy(), self._in_indices.copy())
+
+    def symmetrized(self) -> "Graph":
+        """The graph with every edge present in both directions.
+
+        Undirected-semantics algorithms (e.g. connected components by
+        label propagation) run on this view so information flows against
+        the original edge direction too.
+        """
+        src = self.edge_sources()
+        dst = self.out_indices
+        both = np.stack(
+            [np.concatenate([src, dst]), np.concatenate([dst, src])],
+            axis=1,
+        )
+        return Graph.from_edges(both, num_vertices=self.num_vertices,
+                                dedup=True, drop_self_loops=True)
+
+    def to_undirected(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Symmetrized weighted adjacency used by the partitioner.
+
+        Returns ``(indptr, indices, weights)`` where parallel/antiparallel
+        edges are merged with summed multiplicity and self loops are dropped.
+        """
+        src = self.edge_sources()
+        dst = self.out_indices
+        keep = src != dst
+        s = np.concatenate([src[keep], dst[keep]])
+        d = np.concatenate([dst[keep], src[keep]])
+        if s.size == 0:
+            n = self.num_vertices
+            return (np.zeros(n + 1, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64))
+        key = s * np.int64(self.num_vertices) + d
+        uniq, counts = np.unique(key, return_counts=True)
+        us = (uniq // self.num_vertices).astype(np.int64)
+        ud = (uniq % self.num_vertices).astype(np.int64)
+        order = np.lexsort((ud, us))
+        us, ud, counts = us[order], ud[order], counts[order]
+        indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(us, minlength=self.num_vertices), out=indptr[1:])
+        return indptr, ud, counts.astype(np.int64)
+
+    def subgraph(self, vertices: Sequence[int] | np.ndarray) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns ``(sub, original_ids)`` where ``sub`` uses local ids
+        ``0 .. len(vertices)-1`` and ``original_ids[local] = global``.
+        """
+        verts = np.asarray(vertices, dtype=np.int64)
+        if verts.size != np.unique(verts).size:
+            raise GraphError("subgraph vertices must be distinct")
+        local = -np.ones(self.num_vertices, dtype=np.int64)
+        local[verts] = np.arange(verts.size)
+        src = self.edge_sources()
+        dst = self.out_indices
+        keep = (local[src] >= 0) & (local[dst] >= 0)
+        indptr, indices = _build_csr(local[src[keep]], local[dst[keep]], verts.size)
+        return Graph(indptr, indices), verts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (np.array_equal(self.out_indptr, other.out_indptr)
+                and np.array_equal(self.out_indices, other.out_indices))
+
+    def __hash__(self) -> int:
+        return hash((self.num_vertices, self.num_edges))

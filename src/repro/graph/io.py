@@ -1,0 +1,216 @@
+"""Graph serialization in Surfer's adjacency-list format.
+
+The paper stores graphs as records ``<ID, d, neighbors>`` where ``ID`` is the
+vertex id, ``d`` its out-degree and ``neighbors`` the ``d`` neighbor ids
+(Section 3).  We provide a text form (one record per line, whitespace
+separated) and a compact binary form, plus the byte-size accounting the
+cluster simulator uses to charge disk and network I/O.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, TextIO
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.digraph import Graph
+
+__all__ = [
+    "write_adjacency_text",
+    "read_adjacency_text",
+    "write_adjacency_binary",
+    "read_adjacency_binary",
+    "adjacency_record_bytes",
+    "graph_storage_bytes",
+    "read_edge_list",
+    "write_edge_list",
+    "VERTEX_ID_BYTES",
+    "DEGREE_BYTES",
+    "VALUE_BYTES",
+]
+
+# On-disk/on-wire record sizing used by the cost model (Section 4.2 / DESIGN).
+VERTEX_ID_BYTES = 8   # vertex ids are int64
+DEGREE_BYTES = 4      # degree field
+VALUE_BYTES = 8       # one float64 application value
+
+_MAGIC = b"SRFG"
+_VERSION = 1
+
+
+def adjacency_record_bytes(degree: int) -> int:
+    """Size in bytes of one ``<ID, d, neighbors>`` record."""
+    return VERTEX_ID_BYTES + DEGREE_BYTES + VERTEX_ID_BYTES * degree
+
+
+def graph_storage_bytes(graph: Graph) -> int:
+    """Total bytes of the adjacency-list encoding of ``graph``."""
+    n, m = graph.num_vertices, graph.num_edges
+    return n * (VERTEX_ID_BYTES + DEGREE_BYTES) + m * VERTEX_ID_BYTES
+
+
+# ----------------------------------------------------------------------
+# Text format
+# ----------------------------------------------------------------------
+def write_adjacency_text(graph: Graph, dest: TextIO | str | Path) -> None:
+    """Write ``graph`` as ``ID d n0 n1 ...`` lines."""
+    if isinstance(dest, (str, Path)):
+        with open(dest, "w", encoding="ascii") as handle:
+            write_adjacency_text(graph, handle)
+        return
+    for v in range(graph.num_vertices):
+        nbrs = graph.out_neighbors(v)
+        fields = [str(v), str(nbrs.size)]
+        fields.extend(str(int(u)) for u in nbrs)
+        dest.write(" ".join(fields))
+        dest.write("\n")
+
+
+def read_adjacency_text(src: TextIO | str | Path) -> Graph:
+    """Parse the text adjacency format back into a :class:`Graph`."""
+    if isinstance(src, (str, Path)):
+        with open(src, "r", encoding="ascii") as handle:
+            return read_adjacency_text(handle)
+    records: dict[int, np.ndarray] = {}
+    max_vertex = -1
+    for lineno, line in enumerate(src, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        try:
+            vid = int(fields[0])
+            degree = int(fields[1])
+            nbrs = np.array([int(f) for f in fields[2:]], dtype=np.int64)
+        except (ValueError, IndexError) as exc:
+            raise GraphFormatError(f"line {lineno}: malformed record") from exc
+        if degree != nbrs.size:
+            raise GraphFormatError(
+                f"line {lineno}: declared degree {degree} but "
+                f"{nbrs.size} neighbors listed"
+            )
+        if vid < 0:
+            raise GraphFormatError(f"line {lineno}: negative vertex id")
+        if vid in records:
+            raise GraphFormatError(f"line {lineno}: duplicate vertex {vid}")
+        records[vid] = nbrs
+        max_vertex = max(max_vertex, vid, int(nbrs.max(initial=-1)))
+    n = max_vertex + 1
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for vid, nbrs in records.items():
+        indptr[vid + 1] = nbrs.size
+    np.cumsum(indptr, out=indptr)
+    indices = np.zeros(indptr[-1], dtype=np.int64)
+    for vid, nbrs in records.items():
+        indices[indptr[vid]: indptr[vid] + nbrs.size] = nbrs
+    return Graph(indptr, indices)
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+def write_adjacency_binary(graph: Graph, dest: BinaryIO | str | Path) -> None:
+    """Write ``graph`` in the compact binary container format."""
+    if isinstance(dest, (str, Path)):
+        with open(dest, "wb") as handle:
+            write_adjacency_binary(graph, handle)
+        return
+    dest.write(_MAGIC)
+    dest.write(struct.pack("<IQQ", _VERSION, graph.num_vertices,
+                           graph.num_edges))
+    dest.write(graph.out_indptr.astype("<i8").tobytes())
+    dest.write(graph.out_indices.astype("<i8").tobytes())
+
+
+def read_adjacency_binary(src: BinaryIO | str | Path) -> Graph:
+    """Read a graph written by :func:`write_adjacency_binary`."""
+    if isinstance(src, (str, Path)):
+        with open(src, "rb") as handle:
+            return read_adjacency_binary(handle)
+    magic = src.read(4)
+    if magic != _MAGIC:
+        raise GraphFormatError("not a Surfer binary graph (bad magic)")
+    header = src.read(struct.calcsize("<IQQ"))
+    if len(header) != struct.calcsize("<IQQ"):
+        raise GraphFormatError("truncated header")
+    version, n, m = struct.unpack("<IQQ", header)
+    if version != _VERSION:
+        raise GraphFormatError(f"unsupported version {version}")
+    indptr_bytes = src.read(8 * (n + 1))
+    indices_bytes = src.read(8 * m)
+    if len(indptr_bytes) != 8 * (n + 1) or len(indices_bytes) != 8 * m:
+        raise GraphFormatError("truncated graph payload")
+    indptr = np.frombuffer(indptr_bytes, dtype="<i8").astype(np.int64)
+    indices = np.frombuffer(indices_bytes, dtype="<i8").astype(np.int64)
+    return Graph(indptr, indices)
+
+
+def roundtrip_text(graph: Graph) -> Graph:
+    """Serialize and reparse through the text format (testing helper)."""
+    buf = io.StringIO()
+    write_adjacency_text(graph, buf)
+    buf.seek(0)
+    return read_adjacency_text(buf)
+
+
+def roundtrip_binary(graph: Graph) -> Graph:
+    """Serialize and reparse through the binary format (testing helper)."""
+    buf = io.BytesIO()
+    write_adjacency_binary(graph, buf)
+    buf.seek(0)
+    return read_adjacency_binary(buf)
+
+
+# ----------------------------------------------------------------------
+# Edge-list format (interchange with external tools)
+# ----------------------------------------------------------------------
+def write_edge_list(graph: Graph, dest: TextIO | str | Path,
+                    delimiter: str = "\t") -> None:
+    """Write ``graph`` as ``src<delimiter>dst`` lines (SNAP-style)."""
+    if isinstance(dest, (str, Path)):
+        with open(dest, "w", encoding="ascii") as handle:
+            write_edge_list(graph, handle, delimiter)
+        return
+    for u, v in graph.iter_edges():
+        dest.write(f"{u}{delimiter}{v}\n")
+
+
+def read_edge_list(src: TextIO | str | Path,
+                   num_vertices: int | None = None,
+                   dedup: bool = True,
+                   drop_self_loops: bool = True) -> Graph:
+    """Parse a whitespace/comma-separated edge list into a :class:`Graph`.
+
+    Lines starting with ``#`` or ``%`` are comments (SNAP and Matrix
+    Market conventions); empty lines are skipped.  Vertex ids must be
+    non-negative integers.
+    """
+    if isinstance(src, (str, Path)):
+        with open(src, "r", encoding="ascii") as handle:
+            return read_edge_list(handle, num_vertices, dedup,
+                                  drop_self_loops)
+    edges: list[tuple[int, int]] = []
+    for lineno, line in enumerate(src, start=1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        fields = line.replace(",", " ").split()
+        if len(fields) < 2:
+            raise GraphFormatError(
+                f"line {lineno}: expected 'src dst', got {line!r}"
+            )
+        try:
+            u, v = int(fields[0]), int(fields[1])
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"line {lineno}: non-integer vertex id"
+            ) from exc
+        if u < 0 or v < 0:
+            raise GraphFormatError(f"line {lineno}: negative vertex id")
+        edges.append((u, v))
+    return Graph.from_edges(edges, num_vertices=num_vertices,
+                            dedup=dedup, drop_self_loops=drop_self_loops)

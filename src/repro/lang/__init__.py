@@ -1,0 +1,30 @@
+"""GraphFlow: the high-level dataflow layer the paper announces as
+future work — declarative steps compiled onto Surfer's primitives."""
+
+from repro.lang.flow import (
+    AggregateStep,
+    FlowContext,
+    GraphFlow,
+    SpreadStep,
+)
+from repro.lang.compiler import AggregateApp, SpreadApp, compile_step
+from repro.lang.library import (
+    degree_histogram_flow,
+    min_label_flow,
+    pagerank_flow,
+    reach_flow,
+)
+
+__all__ = [
+    "AggregateStep",
+    "FlowContext",
+    "GraphFlow",
+    "SpreadStep",
+    "AggregateApp",
+    "SpreadApp",
+    "compile_step",
+    "degree_histogram_flow",
+    "min_label_flow",
+    "pagerank_flow",
+    "reach_flow",
+]

@@ -1,0 +1,123 @@
+"""Compile GraphFlow steps into propagation applications.
+
+Each step becomes a dynamically configured
+:class:`~repro.propagation.api.PropagationApp`: ``spread`` steps use the
+edge-driven transfer/combine path (inheriting local propagation and local
+combination for free), ``aggregate`` steps use the virtual-vertex path —
+so flow programs get every Surfer runtime optimization without the author
+ever seeing a partition.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import JobError
+from repro.lang.flow import AggregateStep, FlowContext, SpreadStep
+from repro.propagation.api import PropagationApp
+
+__all__ = ["compile_step", "SpreadApp", "AggregateApp"]
+
+
+class SpreadApp(PropagationApp):
+    """Propagation app generated from a :class:`SpreadStep`."""
+
+    def __init__(self, step: SpreadStep, context: FlowContext):
+        self.step = step
+        self.context = context
+        self.name = step.name
+        self.is_associative = step.associative
+        self.combine_all_vertices = step.default is not None
+
+    def setup(self, pgraph) -> FlowContext:
+        if self.context.pgraph is not pgraph:
+            raise JobError("flow context belongs to a different deployment")
+        return self.context
+
+    def select(self, u, state):
+        if self.step.select is None:
+            return True
+        return bool(self.step.select(u, state))
+
+    def transfer(self, u, v, state):
+        return self.step.value(u, state)
+
+    def combine(self, v, values, state):
+        if not values:
+            return self.step.default
+        return self.step.combine(values)
+
+    def merge(self, a, b):
+        return self.step.combine([a, b])
+
+    def value_nbytes(self, value):
+        if self.step.value_nbytes is not None:
+            return float(self.step.value_nbytes(value))
+        return 8.0
+
+    def update(self, state: FlowContext, combined: dict) -> None:
+        if self.step.each_iteration is not None:
+            self.step.each_iteration(state)
+        attr = state.attributes[self.step.into]
+        for v, acc in combined.items():
+            attr[v] = self.step.update(v, acc, state)
+        state.attributes[self.step.into] = attr
+
+    def converged(self, state: FlowContext) -> bool:
+        if self.step.until is None:
+            return False
+        return bool(self.step.until(state))
+
+    def finalize(self, state: FlowContext) -> FlowContext:
+        return state
+
+
+class AggregateApp(PropagationApp):
+    """Virtual-vertex app generated from an :class:`AggregateStep`."""
+
+    uses_virtual_vertices = True
+
+    def __init__(self, step: AggregateStep, context: FlowContext):
+        self.step = step
+        self.context = context
+        self.name = step.name
+        self.is_associative = step.associative
+
+    def setup(self, pgraph) -> FlowContext:
+        if self.context.pgraph is not pgraph:
+            raise JobError("flow context belongs to a different deployment")
+        return self.context
+
+    def select(self, u, state):
+        if self.step.select is None:
+            return True
+        return bool(self.step.select(u, state))
+
+    def virtual_transfer(self, u, state):
+        yield self.step.key(u, state), self.step.value(u, state)
+
+    def virtual_combine(self, key, values, state):
+        return self.step.reduce(values)
+
+    def merge(self, a, b):
+        return self.step.reduce([a, b])
+
+    def update(self, state: FlowContext, combined: dict) -> None:
+        state.tables[self.step.into] = dict(combined)
+
+    def finalize(self, state: FlowContext) -> FlowContext:
+        return state
+
+
+def compile_step(step: Any, context: FlowContext):
+    """Turn a step into ``(app, max_iterations, until_hook_or_None)``."""
+    if isinstance(step, SpreadStep):
+        if step.into not in context.attributes:
+            raise JobError(
+                f"step '{step.name}' writes undeclared attribute "
+                f"'{step.into}'"
+            )
+        return SpreadApp(step, context), step.iterations, step.until
+    if isinstance(step, AggregateStep):
+        return AggregateApp(step, context), 1, None
+    raise JobError(f"unknown flow step type: {type(step).__name__}")

@@ -1,0 +1,202 @@
+"""GraphFlow: a declarative pipeline layer over Surfer's primitives.
+
+The paper closes by announcing "a high-level language on top of MapReduce
+and propagation, to further improve the programmability of Surfer"
+(Appendix B) — this module builds that layer.  A :class:`GraphFlow` is a
+sequence of declarative steps over named vertex attributes; each step
+compiles to a propagation job (edge-oriented ``spread`` steps, possibly
+iterated to convergence) or a virtual-vertex job (``aggregate`` group-bys),
+and :meth:`GraphFlow.run` executes them back to back on a deployed
+:class:`~repro.core.surfer.Surfer`.
+
+PageRank in flow form::
+
+    flow = (GraphFlow("pagerank")
+            .vertices(rank=lambda ctx: np.full(ctx.num_vertices,
+                                               1.0 / ctx.num_vertices))
+            .spread(value=lambda u, ctx: 0.85 * ctx["rank"][u]
+                                         / ctx.out_degree(u),
+                    combine=sum,
+                    update=lambda v, acc, ctx: 0.15 / ctx.num_vertices
+                                               + acc,
+                    into="rank", associative=True, default=0.0,
+                    iterations=5))
+    ranks = flow.run(surfer)["rank"]
+
+Steps share a :class:`FlowContext` — the vertex attributes plus graph
+introspection — so later steps read what earlier steps computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import JobError
+
+__all__ = ["FlowContext", "GraphFlow", "SpreadStep", "AggregateStep"]
+
+
+class FlowContext:
+    """Vertex attributes plus graph introspection, shared across steps."""
+
+    def __init__(self, pgraph):
+        self.pgraph = pgraph
+        self.graph = pgraph.graph
+        self.attributes: dict[str, Any] = {}
+        self.tables: dict[str, dict] = {}
+        self._out_deg = self.graph.out_degrees()
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    def out_degree(self, v: int) -> int:
+        return int(self._out_deg[v])
+
+    def out_neighbors(self, v: int):
+        return self.graph.out_neighbors(v)
+
+    def __getitem__(self, name: str):
+        if name in self.attributes:
+            return self.attributes[name]
+        if name in self.tables:
+            return self.tables[name]
+        raise JobError(f"flow attribute '{name}' is not defined")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.attributes or name in self.tables
+
+
+@dataclass
+class SpreadStep:
+    """An edge-oriented step: push values along edges, fold at targets.
+
+    ``value(u, ctx)`` produces the payload a selected vertex exports to
+    each of its out-neighbors; ``combine(values)`` folds the bag arriving
+    at a vertex; ``update(v, acc, ctx)`` turns the folded value into the
+    new attribute (``acc is None`` for vertices that received nothing,
+    seen only when ``default`` is given).  With ``associative=True`` the
+    engine applies local combination using ``combine`` pairwise.
+    """
+
+    name: str
+    value: Callable
+    combine: Callable
+    update: Callable
+    into: str
+    select: Callable | None = None
+    associative: bool = False
+    default: Any = None
+    iterations: int = 1
+    until: Callable | None = None
+    value_nbytes: Callable | None = None
+    each_iteration: Callable | None = None
+
+
+@dataclass
+class AggregateStep:
+    """A vertex-oriented group-by via virtual vertices.
+
+    ``key(u, ctx)`` and ``value(u, ctx)`` emit one record per vertex;
+    ``reduce(values)`` folds each key's bag.  The result lands in
+    ``ctx.tables[into]`` as ``{key: reduced}``.
+    """
+
+    name: str
+    key: Callable
+    value: Callable
+    reduce: Callable
+    into: str
+    select: Callable | None = None
+    associative: bool = True
+
+
+@dataclass
+class GraphFlow:
+    """A named sequence of declarative steps."""
+
+    name: str = "flow"
+    initializers: dict[str, Callable] = field(default_factory=dict)
+    steps: list = field(default_factory=list)
+
+    # -- builders --------------------------------------------------------
+    def vertices(self, **initializers: Callable) -> "GraphFlow":
+        """Declare vertex attributes; each initializer gets the context."""
+        self.initializers.update(initializers)
+        return self
+
+    def spread(
+        self,
+        value: Callable,
+        combine: Callable,
+        update: Callable,
+        into: str,
+        select: Callable | None = None,
+        associative: bool = False,
+        default: Any = None,
+        iterations: int = 1,
+        until: Callable | None = None,
+        value_nbytes: Callable | None = None,
+        each_iteration: Callable | None = None,
+        name: str | None = None,
+    ) -> "GraphFlow":
+        """Append an edge-oriented propagation step.
+
+        ``each_iteration(ctx)`` runs right before an iteration's results
+        are folded in — the place to reset per-iteration counters that
+        ``until`` inspects.
+        """
+        self.steps.append(SpreadStep(
+            name=name or f"spread->{into}",
+            value=value, combine=combine, update=update, into=into,
+            select=select, associative=associative, default=default,
+            iterations=iterations, until=until,
+            value_nbytes=value_nbytes, each_iteration=each_iteration,
+        ))
+        return self
+
+    def aggregate(
+        self,
+        key: Callable,
+        value: Callable,
+        reduce: Callable,
+        into: str,
+        select: Callable | None = None,
+        name: str | None = None,
+    ) -> "GraphFlow":
+        """Append a group-by step (virtual vertices under the hood)."""
+        self.steps.append(AggregateStep(
+            name=name or f"aggregate->{into}",
+            key=key, value=value, reduce=reduce, into=into, select=select,
+        ))
+        return self
+
+    # -- execution --------------------------------------------------------
+    def run(self, surfer, collect_metrics: bool = False):
+        """Execute all steps on ``surfer``; returns the final attributes.
+
+        With ``collect_metrics=True`` returns ``(attributes, metrics)``
+        where metrics is a per-step list of
+        :class:`~repro.cluster.cluster.ClusterMetrics`.
+        """
+        from repro.lang.compiler import compile_step
+
+        if not self.steps:
+            raise JobError(f"flow '{self.name}' has no steps")
+        context = FlowContext(surfer.pgraph)
+        for attr, initializer in self.initializers.items():
+            context.attributes[attr] = initializer(context)
+        metrics = []
+        for step in self.steps:
+            app, iterations, until = compile_step(step, context)
+            job = surfer.run_propagation(
+                app, iterations=iterations,
+                until_convergence=until is not None,
+            )
+            metrics.append(job.metrics)
+        results = dict(context.attributes)
+        results.update(context.tables)
+        if collect_metrics:
+            return results, metrics
+        return results

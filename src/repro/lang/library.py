@@ -1,0 +1,102 @@
+"""Prebuilt GraphFlow programs for common analyses.
+
+These show how little code the flow layer needs for the paper's
+workloads; each returns a ready-to-run :class:`~repro.lang.flow.GraphFlow`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang.flow import GraphFlow
+
+__all__ = ["pagerank_flow", "degree_histogram_flow", "reach_flow",
+           "min_label_flow"]
+
+
+def pagerank_flow(damping: float = 0.85, iterations: int = 5) -> GraphFlow:
+    """PageRank as a single spread step (matches the NR oracle)."""
+    return (
+        GraphFlow("pagerank")
+        .vertices(rank=lambda ctx: np.full(ctx.num_vertices,
+                                           1.0 / max(ctx.num_vertices, 1)))
+        .spread(
+            value=lambda u, ctx: damping * ctx["rank"][u]
+            / ctx.out_degree(u),
+            combine=sum,
+            update=lambda v, acc, ctx: (1 - damping) / ctx.num_vertices
+            + (acc or 0.0),
+            into="rank",
+            associative=True,
+            default=0.0,
+            iterations=iterations,
+        )
+    )
+
+
+def degree_histogram_flow() -> GraphFlow:
+    """Vertex degree distribution as a single aggregate step (VDD)."""
+    return (
+        GraphFlow("degree-histogram")
+        .aggregate(
+            key=lambda u, ctx: ctx.out_degree(u),
+            value=lambda u, ctx: 1,
+            reduce=sum,
+            into="histogram",
+        )
+    )
+
+
+def reach_flow(seeds, max_hops: int = 10) -> GraphFlow:
+    """Multi-hop reachability from a seed set, run to convergence."""
+    seeds = set(int(s) for s in seeds)
+
+    def init(ctx):
+        reached = np.zeros(ctx.num_vertices, dtype=bool)
+        for s in seeds:
+            reached[s] = True
+        return reached
+
+    return (
+        GraphFlow("reach")
+        .vertices(reached=init, frontier_size=lambda ctx: np.array([1]))
+        .spread(
+            value=lambda u, ctx: True,
+            combine=any,
+            update=lambda v, acc, ctx: bool(ctx["reached"][v] or acc),
+            into="reached",
+            select=lambda u, ctx: bool(ctx["reached"][u]),
+            associative=True,
+            iterations=max_hops,
+            until=lambda ctx: False,  # fixed hop budget
+        )
+    )
+
+
+def min_label_flow(max_iterations: int = 50) -> GraphFlow:
+    """Connected components (on a symmetrized deployment)."""
+    return (
+        GraphFlow("components")
+        .vertices(
+            label=lambda ctx: np.arange(ctx.num_vertices, dtype=np.int64),
+            changed=lambda ctx: np.array([ctx.num_vertices]),
+        )
+        .spread(
+            value=lambda u, ctx: int(ctx["label"][u]),
+            combine=min,
+            update=_label_update,
+            into="label",
+            associative=True,
+            iterations=max_iterations,
+            until=lambda ctx: int(ctx["changed"][0]) == 0,
+            each_iteration=lambda ctx: ctx["changed"].fill(0),
+        )
+    )
+
+
+def _label_update(v, acc, ctx):
+    old = int(ctx["label"][v])
+    new = min(old, int(acc))
+    if new != old:
+        ctx["changed"][0] += 1
+    return new

@@ -1,0 +1,78 @@
+"""The home-grown MapReduce programming interface (Sections 2, 3.1).
+
+Following the paper, ``map`` takes a whole *graph partition* as input — so
+developers can (and for performance must) hand-roll partition-level data
+reduction such as the NR hash table of Algorithm 2 — and ``reduce``
+receives all values grouped by key after a hash-partitioned shuffle that is
+oblivious to the graph structure.  The contrast in UDF size and shuffle
+traffic against propagation is the point of Tables 2–4 and Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import JobError
+from repro.graph.io import VALUE_BYTES, VERTEX_ID_BYTES
+
+__all__ = ["MapReduceApp", "kv_nbytes"]
+
+Emit = Callable[[Any, Any], None]
+
+
+class MapReduceApp:
+    """Base class for MapReduce applications on partitioned graphs."""
+
+    name = "mr-app"
+    #: outputs are per-vertex values the next round reads by partition,
+    #: so reducers must ship them back to the graph layout (a cost
+    #: propagation never pays — its Combine writes in place).
+    writeback_to_partitions = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle (mirrors PropagationApp)
+    # ------------------------------------------------------------------
+    def setup(self, pgraph) -> Any:
+        """Create the iteration state."""
+        return None
+
+    def update(self, state: Any, outputs: dict) -> None:
+        """Fold one round's reduce outputs into the state."""
+        values = getattr(state, "values", None)
+        if values is None:
+            raise JobError(
+                f"{self.name}: override update() or give state a .values"
+            )
+        for key, value in outputs.items():
+            values[key] = value
+
+    def finalize(self, state: Any) -> Any:
+        return state
+
+    # ------------------------------------------------------------------
+    # User-defined functions
+    # ------------------------------------------------------------------
+    def map(self, partition: int, pgraph, state: Any, emit: Emit) -> None:
+        """Process one graph partition, emitting (key, value) pairs."""
+        raise JobError(f"{self.name}: map() not implemented")
+
+    def reduce(self, key, values: list, state: Any, emit: Emit) -> None:
+        """Fold all values of ``key``, emitting output pairs."""
+        raise JobError(f"{self.name}: reduce() not implemented")
+
+    # ------------------------------------------------------------------
+    # Cost-model sizing hooks
+    # ------------------------------------------------------------------
+    def key_nbytes(self, key) -> float:
+        return float(VERTEX_ID_BYTES)
+
+    def value_nbytes(self, value) -> float:
+        return float(VALUE_BYTES)
+
+    def output_nbytes(self, key, value) -> float:
+        return self.key_nbytes(key) + self.value_nbytes(value)
+
+
+def kv_nbytes(app: MapReduceApp, key, value) -> float:
+    """Wire size of one intermediate key/value record."""
+    return app.key_nbytes(key) + app.value_nbytes(value)

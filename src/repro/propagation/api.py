@@ -1,0 +1,165 @@
+"""The propagation programming interface (Section 3.2).
+
+Developers subclass :class:`PropagationApp` and implement the paper's two
+user-defined functions::
+
+    transfer: (v, v') -> (v', value)    # export data along an edge
+    combine:  (v, bag of values) -> (v, value')   # fold arrivals at v
+
+plus optional hooks:
+
+* ``merge(a, b)`` with ``is_associative = True`` annotates the combine as
+  associative, enabling the *local combination* optimization (Section 5.1);
+* ``select(u, state)`` restricts transfers to a vertex subset (TC and TFL
+  run on 10 % samples in the paper);
+* virtual vertices (Section 3.3): apps with ``uses_virtual_vertices = True``
+  implement ``virtual_transfer`` / ``virtual_combine``, letting
+  vertex-oriented tasks such as VDD emulate MapReduce on top of
+  propagation.
+
+The engine owns distribution, routing, locality optimizations and cost
+accounting; the UDFs stay tiny — that asymmetry is the paper's
+programmability claim (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import JobError
+from repro.graph.io import VALUE_BYTES, VERTEX_ID_BYTES
+
+__all__ = ["PropagationApp", "MessageBox", "message_nbytes"]
+
+
+class PropagationApp:
+    """Base class for propagation applications.
+
+    Subclasses implement ``transfer`` and ``combine`` (or the virtual
+    variants) and may override the annotations and sizing hooks below.
+    """
+
+    name = "app"
+    #: ``combine`` is associative/commutative; enables local combination.
+    is_associative = False
+    #: call ``combine`` on vertices that received no messages too.
+    combine_all_vertices = False
+    #: app emits to virtual vertices instead of along edges.
+    uses_virtual_vertices = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def setup(self, pgraph) -> Any:
+        """Create the iteration state (ranks, flags, ...)."""
+        return None
+
+    def update(self, state: Any, combined: dict) -> None:
+        """Fold one iteration's combine outputs into the state.
+
+        ``combined`` maps vertex (or virtual key) to the combine result.
+        The default stores them on ``state.values`` when present.
+        """
+        values = getattr(state, "values", None)
+        if values is None:
+            raise JobError(
+                f"{self.name}: override update() or give state a .values"
+            )
+        for v, value in combined.items():
+            values[v] = value
+
+    def finalize(self, state: Any) -> Any:
+        """Produce the application result after the last iteration."""
+        return state
+
+    # ------------------------------------------------------------------
+    # User-defined functions
+    # ------------------------------------------------------------------
+    def select(self, u: int, state: Any) -> bool:
+        """Whether vertex ``u`` participates in the Transfer stage."""
+        return True
+
+    def transfer(self, u: int, v: int, state: Any):
+        """Value exported from ``u`` to its out-neighbor ``v`` (or None)."""
+        raise JobError(f"{self.name}: transfer() not implemented")
+
+    def combine(self, v: int, values: list, state: Any):
+        """Fold the bag of ``values`` that arrived at ``v``."""
+        raise JobError(f"{self.name}: combine() not implemented")
+
+    def merge(self, a, b):
+        """Associative pairwise merge (required if ``is_associative``)."""
+        raise JobError(f"{self.name}: merge() not implemented")
+
+    # -- virtual-vertex variants ----------------------------------------
+    def virtual_transfer(self, u: int, state: Any) -> Iterable[tuple]:
+        """Yield ``(virtual_key, value)`` pairs from vertex ``u``."""
+        raise JobError(f"{self.name}: virtual_transfer() not implemented")
+
+    def virtual_combine(self, key, values: list, state: Any):
+        """Fold the values that arrived at virtual vertex ``key``."""
+        raise JobError(f"{self.name}: virtual_combine() not implemented")
+
+    # ------------------------------------------------------------------
+    # Cost-model sizing hooks
+    # ------------------------------------------------------------------
+    def value_nbytes(self, value) -> float:
+        """On-wire payload size of one transfer value."""
+        return float(VALUE_BYTES)
+
+    def result_nbytes(self, v, value) -> float:
+        """On-disk size of one combine output record."""
+        return float(VALUE_BYTES)
+
+
+def message_nbytes(app: PropagationApp, value) -> float:
+    """Full message size: destination id plus payload."""
+    return VERTEX_ID_BYTES + app.value_nbytes(value)
+
+
+@dataclass
+class MessageBox:
+    """Accumulates messages per destination, merging when allowed.
+
+    With a ``merge`` function each destination holds one merged value
+    (``counts`` remembers how many raw messages it stands for); without,
+    destinations hold bags (lists) of values.
+    """
+
+    merge: Any = None
+    data: dict = field(default_factory=dict)
+    counts: dict = field(default_factory=dict)
+
+    def add(self, dest, value) -> None:
+        if self.merge is None:
+            self.data.setdefault(dest, []).append(value)
+        elif dest in self.data:
+            self.data[dest] = self.merge(self.data[dest], value)
+        else:
+            self.data[dest] = value
+        self.counts[dest] = self.counts.get(dest, 0) + 1
+
+    def values_of(self, dest) -> list:
+        """The bag of values for ``dest`` (singleton when merged)."""
+        if dest not in self.data:
+            return []
+        if self.merge is None:
+            return self.data[dest]
+        return [self.data[dest]]
+
+    def payload_bytes(self, app: PropagationApp) -> float:
+        """Total wire bytes of the box's current contents."""
+        total = 0.0
+        for dest, stored in self.data.items():
+            if self.merge is None:
+                total += sum(message_nbytes(app, v) for v in stored)
+            else:
+                total += message_nbytes(app, stored)
+        return total
+
+    def message_count(self) -> int:
+        return sum(self.counts.values())
+
+    def __len__(self) -> int:
+        return len(self.data)

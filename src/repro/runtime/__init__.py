@@ -1,0 +1,23 @@
+"""Simulated Surfer runtime: tasks, job scheduler, traces."""
+
+from repro.runtime.tasks import StageResult, Task, TaskExecution
+from repro.runtime.scheduler import HEARTBEAT_INTERVAL, StageScheduler
+from repro.runtime.trace import io_rate_timeline, machine_timeline
+from repro.runtime.monitor import (
+    JobMonitor,
+    MachineUtilization,
+    estimate_progress,
+)
+
+__all__ = [
+    "StageResult",
+    "Task",
+    "TaskExecution",
+    "HEARTBEAT_INTERVAL",
+    "StageScheduler",
+    "io_rate_timeline",
+    "machine_timeline",
+    "JobMonitor",
+    "MachineUtilization",
+    "estimate_progress",
+]

@@ -1,0 +1,132 @@
+"""Job monitoring: progress estimation and resource-utilization reports.
+
+The paper's job manager "records resource utilization and estimates the
+execution progress of the job", surfaced through the demo GUI (Appendix
+B).  This module is the text-mode equivalent: a :class:`JobMonitor`
+summarizes a finished (or injected-fault) run's per-machine utilization,
+per-stage progress and stragglers, and :func:`estimate_progress` answers
+"how far along is the job at time t" from the execution trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.tasks import TaskExecution
+
+__all__ = ["MachineUtilization", "JobMonitor", "estimate_progress"]
+
+
+@dataclass(frozen=True)
+class MachineUtilization:
+    """One machine's share of a run."""
+
+    machine: int
+    busy_seconds: float
+    utilization: float
+    tasks: int
+    failed_tasks: int
+
+
+def estimate_progress(executions: list[TaskExecution], now: float) -> float:
+    """Fraction of planned task-seconds finished by time ``now``.
+
+    Mirrors the job manager's progress estimate: every task contributes
+    its duration; tasks still running at ``now`` contribute their elapsed
+    share.
+    """
+    total = sum(e.duration for e in executions)
+    if total <= 0:
+        return 1.0
+    done = 0.0
+    for e in executions:
+        if e.end <= now:
+            done += e.duration
+        elif e.start < now:
+            done += now - e.start
+    return min(1.0, done / total)
+
+
+class JobMonitor:
+    """Post-hoc analysis of a job's execution trace."""
+
+    def __init__(self, executions: list[TaskExecution]):
+        self.executions = list(executions)
+
+    @property
+    def makespan(self) -> float:
+        return max((e.end for e in self.executions), default=0.0)
+
+    def machine_utilization(self) -> list[MachineUtilization]:
+        """Per-machine busy time, utilization and failure counts."""
+        span = self.makespan
+        per_machine: dict[int, dict] = {}
+        for e in self.executions:
+            rec = per_machine.setdefault(
+                e.machine, {"busy": 0.0, "tasks": 0, "failed": 0}
+            )
+            rec["busy"] += e.duration
+            rec["tasks"] += 1
+            if not e.succeeded:
+                rec["failed"] += 1
+        return [
+            MachineUtilization(
+                machine=m,
+                busy_seconds=rec["busy"],
+                utilization=(rec["busy"] / span if span > 0 else 0.0),
+                tasks=rec["tasks"],
+                failed_tasks=rec["failed"],
+            )
+            for m, rec in sorted(per_machine.items())
+        ]
+
+    def stragglers(self, threshold: float = 1.5) -> list[int]:
+        """Machines whose busy time exceeds ``threshold`` × the median."""
+        stats = self.machine_utilization()
+        if not stats:
+            return []
+        busy = np.array([s.busy_seconds for s in stats])
+        median = float(np.median(busy))
+        if median <= 0:
+            return []
+        return [s.machine for s in stats
+                if s.busy_seconds > threshold * median]
+
+    def stage_summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate duration and counts per task kind."""
+        stages: dict[str, dict[str, float]] = {}
+        for e in self.executions:
+            rec = stages.setdefault(
+                e.task.kind, {"tasks": 0.0, "seconds": 0.0, "failed": 0.0}
+            )
+            rec["tasks"] += 1
+            rec["seconds"] += e.duration
+            if not e.succeeded:
+                rec["failed"] += 1
+        return stages
+
+    def report(self) -> str:
+        """Human-readable utilization report (the GUI's text sibling)."""
+        lines = [f"job makespan: {self.makespan:,.1f}s simulated"]
+        lines.append("stage summary:")
+        for kind, rec in sorted(self.stage_summary().items()):
+            lines.append(
+                f"  {kind:10s} {int(rec['tasks']):4d} tasks  "
+                f"{rec['seconds']:10,.1f}s"
+                + (f"  ({int(rec['failed'])} failed)"
+                   if rec["failed"] else "")
+            )
+        stats = self.machine_utilization()
+        if stats:
+            utils = [s.utilization for s in stats]
+            lines.append(
+                f"machine utilization: min {min(utils):.0%} / "
+                f"median {float(np.median(utils)):.0%} / "
+                f"max {max(utils):.0%}"
+            )
+        stragglers = self.stragglers()
+        if stragglers:
+            lines.append(f"stragglers (>1.5x median busy): {stragglers}")
+        return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""The job manager: stage scheduling with barrier semantics.
+
+Surfer's job manager is deliberately simple (Appendix B): it dispatches one
+task at a time to each slave and re-executes tasks lost to machine failures.
+We reproduce that: each machine runs its queue serially; a stage is a
+barrier (the Combine stage starts only after every Transfer finished, as
+Algorithm 5 requires); failed tasks are detected after a heartbeat delay
+and re-dispatched to a machine holding a surviving replica.
+
+Timing of one task:
+``disk_read + cpu + sum(network sends) + disk_write`` at the machine's
+rates, with network sends charged against the topology's pair bandwidth
+(co-located sends are free).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SchedulingError
+from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultPlan
+from repro.cluster.storage import PartitionStore
+from repro.runtime.tasks import StageResult, Task, TaskExecution
+
+__all__ = ["StageScheduler", "HEARTBEAT_INTERVAL"]
+
+# Failure-detection latency of the heartbeat protocol, simulated seconds.
+HEARTBEAT_INTERVAL = 5.0
+
+
+class StageScheduler:
+    """Executes stages of tasks on a cluster, with optional fault plan."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        fault_plan: FaultPlan | None = None,
+        store: PartitionStore | None = None,
+        heartbeat: float = HEARTBEAT_INTERVAL,
+        pipelined: bool = False,
+    ):
+        """``pipelined=True`` overlaps consecutive tasks' phases on a
+        machine: while one task's output streams over the network, the
+        next task's partition read proceeds on the disk (flow-shop
+        pipelining over the machine's disk/CPU/NIC resources).  The
+        default is the paper's strictly serial job manager.  Pipelining
+        does not support fault plans."""
+        if pipelined and fault_plan is not None and not fault_plan.empty:
+            raise SchedulingError(
+                "pipelined execution does not support fault injection"
+            )
+        self.cluster = cluster
+        self.fault_plan = fault_plan or FaultPlan()
+        self.store = store
+        self.heartbeat = heartbeat
+        self.pipelined = pipelined
+        self.executions: list[TaskExecution] = []
+
+    # ------------------------------------------------------------------
+    def run_stage(self, tasks: list[Task]) -> StageResult:
+        """Run ``tasks`` to completion and barrier all machine clocks."""
+        start_time = max(
+            (m.clock for m in self.cluster.machines), default=0.0
+        )
+        self._stage_users = self._collect_resource_users(tasks)
+        queues: dict[int, deque[Task]] = {}
+        for task in tasks:
+            queues.setdefault(task.machine, deque()).append(task)
+
+        stage_execs: list[TaskExecution] = []
+        failed: deque[Task] = deque()
+        failures = 0
+
+        for machine_id in sorted(queues):
+            if self.pipelined:
+                self._drain_queue_pipelined(
+                    machine_id, queues[machine_id], start_time, stage_execs
+                )
+            else:
+                self._drain_queue(machine_id, queues[machine_id],
+                                  start_time, stage_execs, failed)
+
+        # Re-execute tasks lost to failures on replica holders.
+        guard = 0
+        while failed:
+            guard += 1
+            if guard > 10000:
+                raise SchedulingError("failure re-execution did not converge")
+            task = failed.popleft()
+            failures += 1
+            new_machine = self._reassign(task)
+            task = self._recovery_copy(task, new_machine)
+            self._drain_queue(new_machine, deque([task]), start_time,
+                              stage_execs, failed)
+
+        end_time = max(
+            (e.end for e in stage_execs), default=start_time
+        )
+        # Barrier: every machine waits for the stage to complete.
+        for m in self.cluster.machines:
+            if m.alive:
+                m.clock = max(m.clock, end_time)
+        self.executions.extend(stage_execs)
+        return StageResult(
+            executions=stage_execs,
+            start_time=start_time,
+            end_time=end_time,
+            failures=failures,
+        )
+
+    def run_stages(self, stages: list[list[Task]]) -> list[StageResult]:
+        """Run consecutive barrier stages."""
+        return [self.run_stage(stage) for stage in stages]
+
+    # ------------------------------------------------------------------
+    def _drain_queue(
+        self,
+        machine_id: int,
+        queue: deque[Task],
+        stage_start: float,
+        stage_execs: list[TaskExecution],
+        failed: deque[Task],
+    ) -> None:
+        machine = self.cluster.machine(machine_id)
+        kill_time = self.fault_plan.kill_time(machine_id)
+        while queue:
+            task = queue.popleft()
+            start = max(machine.clock, stage_start, task.earliest_start)
+            if kill_time is not None and start >= kill_time:
+                self._mark_dead(machine_id, kill_time)
+                failed.append(task)
+                failed.extend(queue)
+                return
+            duration = self._task_duration(task, machine_id)
+            end = start + duration
+            if kill_time is not None and end > kill_time:
+                # Task dies mid-flight; time up to the kill is wasted.
+                machine.busy_time += kill_time - start
+                machine.clock = kill_time
+                stage_execs.append(
+                    TaskExecution(task, machine_id, start, kill_time, False)
+                )
+                self._mark_dead(machine_id, kill_time)
+                failed.append(task)
+                failed.extend(queue)
+                return
+            self._charge(task, machine_id, duration)
+            machine.clock = end
+            machine.busy_time += duration
+            machine.tasks_executed += 1
+            stage_execs.append(
+                TaskExecution(task, machine_id, start, end, True)
+            )
+
+    def _drain_queue_pipelined(
+        self,
+        machine_id: int,
+        queue: deque[Task],
+        stage_start: float,
+        stage_execs: list[TaskExecution],
+    ) -> None:
+        """Flow-shop execution: disk, CPU and NIC are independent lanes.
+
+        Each task runs its phases in order (read -> compute -> network ->
+        write); a phase starts when both the previous phase of the same
+        task and the lane's previous occupant have finished.  Total work
+        (busy time, byte counters) is identical to serial execution —
+        only the elapsed time shrinks.
+        """
+        machine = self.cluster.machine(machine_id)
+        spec = machine.spec
+        net = self.cluster.network
+        users = getattr(self, "_stage_users", None)
+        base = max(machine.clock, stage_start)
+        # four lanes: read disk, CPU, NIC, write disk (the testbed
+        # machines carry two disks — Appendix F)
+        read_free = cpu_free = net_free = write_free = base
+        for task in queue:
+            arrival = max(base, task.earliest_start)
+            read_time = (spec.disk_read_time(task.disk_read_bytes)
+                         * task.disk_penalty)
+            cpu_time = spec.cpu_time(task.cpu_ops)
+            net_time = net.flows_time(machine_id, task.sends,
+                                      spec.nic_bps, outbound=True,
+                                      users=users)
+            net_time += net.flows_time(
+                machine_id, list(task.receives) + list(task.fetches),
+                spec.nic_bps, outbound=False, users=users,
+            )
+            write_time = (spec.disk_write_time(task.disk_write_bytes)
+                          * task.disk_penalty)
+            read_end = max(arrival, read_free) + read_time
+            cpu_end = max(read_end, cpu_free) + cpu_time
+            net_end = max(cpu_end, net_free) + net_time
+            write_end = max(net_end, write_free) + write_time
+            read_free, cpu_free = read_end, cpu_end
+            net_free, write_free = net_end, write_end
+            duration = read_time + cpu_time + net_time + write_time
+            self._charge(task, machine_id, duration)
+            machine.clock = max(machine.clock, write_end)
+            machine.busy_time += duration
+            machine.tasks_executed += 1
+            stage_execs.append(
+                TaskExecution(task, machine_id, arrival, write_end, True)
+            )
+
+    def _collect_resource_users(self, tasks: list[Task]) -> dict:
+        """Who uses each shared network resource during this stage.
+
+        The per-resource user sets determine fair-share bandwidth: a pod
+        uplink crossed by every machine degrades to the topology's
+        worst-case pair bandwidth, while concentrated flows from a few
+        machines get proportionally more of the uplink.
+        """
+        topology = self.cluster.topology
+        users: dict = {}
+        for task in tasks:
+            for dst, nbytes in task.sends:
+                if nbytes > 0 and dst != task.machine:
+                    for key, __, user in topology.flow_resources(
+                        task.machine, dst
+                    ):
+                        users.setdefault(key, set()).add(user)
+            for src, nbytes in list(task.receives) + list(task.fetches):
+                if nbytes > 0 and src != task.machine:
+                    for key, __, user in topology.flow_resources(
+                        src, task.machine
+                    ):
+                        users.setdefault(key, set()).add(user)
+        return users
+
+    def _task_duration(self, task: Task, machine_id: int) -> float:
+        spec = self.cluster.machine(machine_id).spec
+        net = self.cluster.network
+        users = getattr(self, "_stage_users", None)
+        duration = (
+            spec.disk_read_time(task.disk_read_bytes) * task.disk_penalty
+            + spec.cpu_time(task.cpu_ops)
+            + spec.disk_write_time(task.disk_write_bytes)
+            * task.disk_penalty
+        )
+        duration += net.flows_time(machine_id, task.sends, spec.nic_bps,
+                                   outbound=True, users=users)
+        inbound = list(task.receives) + list(task.fetches)
+        duration += net.flows_time(machine_id, inbound, spec.nic_bps,
+                                   outbound=False, users=users)
+        return duration
+
+    def _charge(self, task: Task, machine_id: int, duration: float) -> None:
+        """Record resource counters for a successful execution."""
+        machine = self.cluster.machine(machine_id)
+        machine.disk_read_bytes += int(task.disk_read_bytes)
+        machine.disk_write_bytes += int(task.disk_write_bytes)
+        machine.cpu_ops += task.cpu_ops
+        for dst, nbytes in task.sends:
+            if dst != machine_id:
+                self.cluster.network.transfer(machine_id, dst, int(nbytes))
+                machine.bytes_sent += int(nbytes)
+                self.cluster.machine(dst).bytes_received += int(nbytes)
+        for src, nbytes in task.fetches:
+            if src != machine_id:
+                self.cluster.network.transfer(src, machine_id, int(nbytes))
+                self.cluster.machine(src).bytes_sent += int(nbytes)
+                machine.bytes_received += int(nbytes)
+
+    def _mark_dead(self, machine_id: int, kill_time: float) -> None:
+        machine = self.cluster.machine(machine_id)
+        if machine.alive:
+            machine.fail(kill_time)
+            if self.store is not None:
+                self.store.handle_failure(machine_id)
+
+    def _reassign(self, task: Task) -> int:
+        """Pick the machine to re-execute a failed task on."""
+        now_dead = {m.machine_id for m in self.cluster.machines
+                    if not m.alive}
+        if self.store is not None and task.partition is not None:
+            candidate = self.store.primary(task.partition)
+            if candidate not in now_dead:
+                return candidate
+        alive = self.cluster.alive_machines()
+        if not alive:
+            raise SchedulingError("no machines left alive to re-execute on")
+        # Least-loaded alive machine, mirroring the greedy job manager.
+        return min(alive, key=lambda m: self.cluster.machine(m).clock)
+
+    def _recovery_copy(self, task: Task, new_machine: int) -> Task:
+        """Clone a failed task for re-execution.
+
+        Combine-type tasks must re-fetch their remote inputs before
+        re-running (Appendix B): the input transfers become explicit sends
+        charged against the network (modeled as reads from the sources).
+        Detection waits one heartbeat after the failure.
+        """
+        failed_machine = self.cluster.machine(task.machine)
+        detect = (failed_machine.failed_at or 0.0) + self.heartbeat
+        refetch = [
+            (src, nbytes)
+            for src, nbytes in task.input_transfers
+            if src != new_machine and self.cluster.machine(src).alive
+        ]
+        return Task(
+            name=task.name + "#retry",
+            machine=new_machine,
+            kind=task.kind,
+            partition=task.partition,
+            disk_read_bytes=task.disk_read_bytes,
+            cpu_ops=task.cpu_ops,
+            disk_write_bytes=task.disk_write_bytes,
+            sends=list(task.sends) + refetch,
+            receives=list(task.receives),
+            input_transfers=list(task.input_transfers),
+            earliest_start=detect,
+        )

@@ -1,0 +1,73 @@
+"""Shared fixtures: small graphs and clusters that keep tests fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.workloads import HARDWARE_SCALE, TESTBED_MACHINE
+from repro.cluster.cluster import Cluster
+from repro.cluster.topology import t1, t2
+from repro.core.surfer import Surfer
+from repro.graph.generators import composite_social_graph, grid, ring
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    """A small composite social graph (~8k edges) shared across tests."""
+    return composite_social_graph(
+        num_communities=8, community_size=64, k=6, seed=42
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """A very small composite graph for the slowest code paths."""
+    return composite_social_graph(
+        num_communities=4, community_size=32, k=4, seed=7
+    )
+
+
+@pytest.fixture()
+def grid_graph():
+    return grid(8, 8)
+
+
+@pytest.fixture()
+def ring_graph():
+    return ring(16)
+
+
+def make_test_cluster(num_machines: int = 8, topology=None) -> Cluster:
+    """A small regime-scaled cluster."""
+    if topology is None:
+        topology = t1(num_machines, 40_000_000.0 / HARDWARE_SCALE)
+    return Cluster(topology,
+                   machine_spec=TESTBED_MACHINE.scaled(HARDWARE_SCALE))
+
+
+@pytest.fixture()
+def small_cluster():
+    return make_test_cluster(8)
+
+
+@pytest.fixture(scope="session")
+def shared_surfer(small_graph):
+    """A session-scoped Surfer on the small graph (read-only use)."""
+    cluster = make_test_cluster(8)
+    return Surfer(small_graph, cluster, num_parts=16,
+                  layout="bandwidth-aware", seed=1)
+
+
+@pytest.fixture(scope="session")
+def shared_surfer_oblivious(small_graph):
+    cluster = make_test_cluster(8)
+    return Surfer(small_graph, cluster, num_parts=16,
+                  layout="oblivious", seed=1)
+
+
+def assert_partition_valid(parts: np.ndarray, num_vertices: int,
+                           num_parts: int) -> None:
+    assert parts.shape == (num_vertices,)
+    assert parts.min() >= 0
+    assert parts.max() < num_parts

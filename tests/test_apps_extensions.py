@@ -1,0 +1,150 @@
+"""Tests for the extension applications: CC and HADI-style diameter."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ConnectedComponentsMapReduce,
+    ConnectedComponentsPropagation,
+    DiameterEstimationPropagation,
+    canonical_labels,
+    effective_diameter,
+    fm_estimate,
+    neighborhood_function_exact,
+)
+from repro.core.surfer import Surfer
+from repro.errors import JobError
+from repro.graph import weakly_connected_components
+from repro.graph.digraph import Graph
+from repro.graph.generators import composite_social_graph, ring
+from tests.conftest import make_test_cluster
+
+
+@pytest.fixture(scope="module")
+def components_graph():
+    """Three weak components of varied shape, symmetrized for CC."""
+    edges = [(0, 1), (1, 2), (2, 0),        # triangle
+             (3, 4), (4, 5),                # path
+             (6, 7)]                        # pair; 8 is isolated
+    return Graph.from_edges(edges, num_vertices=9).symmetrized()
+
+
+@pytest.fixture(scope="module")
+def cc_surfer(components_graph):
+    return Surfer(components_graph, make_test_cluster(2), num_parts=4,
+                  seed=6)
+
+
+class TestSymmetrized:
+    def test_both_directions_present(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2).symmetrized()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_idempotent(self, small_graph):
+        s = small_graph.symmetrized()
+        assert s.symmetrized() == s
+
+
+class TestConnectedComponents:
+    def test_propagation_matches_oracle(self, components_graph, cc_surfer):
+        job = cc_surfer.run_propagation(
+            ConnectedComponentsPropagation(), iterations=10,
+            until_convergence=True,
+        )
+        oracle = canonical_labels(
+            weakly_connected_components(components_graph)
+        )
+        assert np.array_equal(job.result, oracle)
+
+    def test_mapreduce_matches_oracle(self, components_graph, cc_surfer):
+        job = cc_surfer.run_mapreduce(
+            ConnectedComponentsMapReduce(), rounds=10,
+            until_convergence=True,
+        )
+        oracle = canonical_labels(
+            weakly_connected_components(components_graph)
+        )
+        assert np.array_equal(job.result, oracle)
+
+    def test_convergence_stops_early(self, cc_surfer):
+        job = cc_surfer.run_propagation(
+            ConnectedComponentsPropagation(), iterations=50,
+            until_convergence=True,
+        )
+        # a 9-vertex graph converges long before 50 iterations
+        assert len(job.reports) < 10
+
+    def test_social_graph_components(self, small_graph):
+        sym = small_graph.symmetrized()
+        surfer = Surfer(sym, make_test_cluster(4), num_parts=8, seed=1)
+        job = surfer.run_propagation(
+            ConnectedComponentsPropagation(), iterations=60,
+            until_convergence=True,
+        )
+        oracle = canonical_labels(weakly_connected_components(sym))
+        assert np.array_equal(job.result, oracle)
+
+    def test_until_convergence_requires_hook(self, cc_surfer):
+        from repro.apps import NetworkRankingPropagation
+        with pytest.raises(JobError):
+            cc_surfer.run_propagation(NetworkRankingPropagation(),
+                                      iterations=3,
+                                      until_convergence=True)
+
+    def test_canonical_labels(self):
+        labels = np.array([7, 7, 3, 7, 3, 9])
+        assert list(canonical_labels(labels)) == [0, 0, 1, 0, 1, 2]
+
+
+class TestFmEstimate:
+    def test_single_low_bit(self):
+        # mask 0b1: lowest zero bit is 1 -> 2^1 / phi
+        assert fm_estimate([1]) == pytest.approx(2 / 0.77351)
+
+    def test_more_bits_bigger_estimate(self):
+        assert fm_estimate([0b1111]) > fm_estimate([0b1])
+
+    def test_estimate_tracks_cardinality(self):
+        """Union of many seeded masks estimates within FM error bounds."""
+        from repro.apps.diameter import _fm_seed_masks
+        masks = _fm_seed_masks(4096, 16, seed=0)
+        union = np.bitwise_or.reduce(masks, axis=0)
+        estimate = fm_estimate(union)
+        assert 1000 < estimate < 17000  # within ~4x of 4096
+
+
+class TestEffectiveDiameter:
+    def test_plateau_detection(self):
+        assert effective_diameter([10, 50, 95, 100, 100]) == 2
+
+    def test_empty(self):
+        assert effective_diameter([]) == 0
+
+    def test_exact_oracle_on_ring(self):
+        g = ring(8).symmetrized()
+        n_of_h = neighborhood_function_exact(g, 4)
+        assert n_of_h[0] == 8          # each vertex reaches itself
+        assert n_of_h[1] == 8 * 3      # itself + 2 ring neighbors
+        assert n_of_h[4] == 64         # everything within 4 hops
+
+
+class TestDiameterApp:
+    def test_converges_and_estimates(self):
+        graph = composite_social_graph(4, 64, k=6, seed=5).symmetrized()
+        surfer = Surfer(graph, make_test_cluster(4), num_parts=8, seed=5)
+        job = surfer.run_propagation(
+            DiameterEstimationPropagation(num_masks=8),
+            iterations=30, until_convergence=True,
+        )
+        result = job.result
+        n_of_h = result["neighborhood_function"]
+        # N(h) is monotone non-decreasing
+        assert all(a <= b + 1e-9 for a, b in zip(n_of_h, n_of_h[1:]))
+        # converged before the cap
+        assert len(job.reports) < 30
+        exact = neighborhood_function_exact(graph,
+                                            len(n_of_h) - 1)
+        # effective diameters agree within 2 hops (FM is approximate)
+        est = result["effective_diameter"]
+        truth = effective_diameter([float(x) for x in exact])
+        assert abs(est - truth) <= 2

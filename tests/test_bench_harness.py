@@ -1,0 +1,113 @@
+"""Unit tests for the bench harness, LoC counting and workloads."""
+
+import pytest
+
+from repro.apps import NetworkRankingPropagation
+from repro.bench.harness import (
+    ExperimentTable,
+    format_bytes,
+    format_seconds,
+    format_value,
+)
+from repro.bench.loc import (
+    PAPER_TABLE4,
+    count_udf_lines,
+    method_body_lines,
+)
+from repro.bench.workloads import (
+    cached_bisection,
+    standard_graph,
+    standard_workload,
+    topology_suite,
+)
+
+
+class TestExperimentTable:
+    def test_add_and_cell(self):
+        t = ExperimentTable("T", ["a", "b"])
+        t.add_row("r1", [1, 2])
+        assert t.cell("r1", "b") == 2
+
+    def test_rejects_wrong_width(self):
+        t = ExperimentTable("T", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row("r", [1, 2])
+
+    def test_missing_row(self):
+        t = ExperimentTable("T", ["a"])
+        with pytest.raises(KeyError):
+            t.cell("nope", "a")
+
+    def test_render_contains_everything(self):
+        t = ExperimentTable("Title", ["col"])
+        t.add_row("row", [3.14])
+        t.notes.append("a note")
+        text = t.render()
+        assert "Title" in text and "row" in text and "a note" in text
+
+    def test_formatters(self):
+        assert format_seconds(30) == "30.0s"
+        assert format_seconds(600) == "10.0min"
+        assert format_seconds(7200) == "2.00h"
+        assert format_bytes(512) == "512B"
+        assert "KB" in format_bytes(2048)
+        assert format_value(3.0) == "3"
+        assert format_value(12345.6) == "1.23e+04"
+
+
+class TestLocCounting:
+    def test_counts_body_lines_only(self):
+        class Sample:
+            def method(self):
+                """Docstring not counted."""
+                # comment not counted
+                a = 1
+
+                return a
+
+        assert method_body_lines(Sample, "method") == 2
+
+    def test_inherited_methods_count_zero(self):
+        class Base:
+            def method(self):
+                return 1
+
+        class Child(Base):
+            pass
+
+        assert method_body_lines(Child, "method") == 0
+
+    def test_missing_method(self):
+        class Empty:
+            pass
+
+        assert method_body_lines(Empty, "anything") == 0
+
+    def test_app_udfs_counted(self):
+        count = count_udf_lines(NetworkRankingPropagation, "propagation")
+        assert 1 <= count <= 30
+
+    def test_paper_table_rows_complete(self):
+        for engine, counts in PAPER_TABLE4.items():
+            assert set(counts) == {"VDD", "NR", "RS", "RLG", "TC", "TFL"}
+
+
+class TestWorkloads:
+    def test_standard_graph_memoized(self):
+        assert standard_graph() is standard_graph()
+
+    def test_cached_bisection_identity(self):
+        g = standard_graph()
+        a = cached_bisection(g, 16, 1)
+        b = cached_bisection(g, 16, 1)
+        assert a is b
+
+    def test_workload_surfer_cached(self):
+        wl = standard_workload(num_machines=8, num_parts=16)
+        assert wl.surfer("oblivious") is wl.surfer("oblivious")
+
+    def test_topology_suite_complete(self):
+        suite = topology_suite(16)
+        assert set(suite) == {"T1", "T2(2,1)", "T2(4,1)", "T2(4,2)", "T3"}
+        for topo in suite.values():
+            assert topo.num_machines == 16

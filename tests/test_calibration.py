@@ -1,0 +1,88 @@
+"""Tests for bandwidth calibration and calibrated machine graphs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.calibration import (
+    CalibratedTopology,
+    calibrate_bandwidth,
+    calibrated_machine_graph,
+)
+from repro.cluster.topology import t1, t2, t3
+from repro.core.machine_graph import MachineGraph, bisect_machines
+from repro.errors import TopologyError
+
+
+class TestCalibration:
+    def test_flat_topology_measured_exactly(self):
+        topo = t1(4, link_bps=100.0)
+        matrix = calibrate_bandwidth(topo)
+        off_diag = matrix[~np.eye(4, dtype=bool)]
+        assert np.allclose(off_diag, 100.0)
+
+    def test_tree_topology_measured(self):
+        topo = t2(2, 1, 8, link_bps=320.0)
+        matrix = calibrate_bandwidth(topo)
+        assert matrix[0, 1] == pytest.approx(320.0)     # intra-pod
+        assert matrix[0, 4] == pytest.approx(10.0)      # cross-pod /32
+
+    def test_t3_measured(self):
+        topo = t3(8, link_bps=100.0, seed=1)
+        matrix = calibrate_bandwidth(topo)
+        slow = np.flatnonzero(topo.is_slow)
+        fast = np.flatnonzero(~topo.is_slow)
+        assert matrix[fast[0], slow[0]] == pytest.approx(50.0)
+
+    def test_symmetric(self):
+        matrix = calibrate_bandwidth(t2(2, 1, 8))
+        assert np.allclose(matrix, matrix.T)
+
+    def test_subset(self):
+        topo = t1(6, link_bps=10.0)
+        matrix = calibrate_bandwidth(topo, machines=[0, 2, 4])
+        assert np.isfinite(matrix[0, 2])
+        assert not np.isfinite(matrix[0, 1])  # never probed
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(TopologyError):
+            calibrate_bandwidth(t1(2), probe_bytes=0)
+        with pytest.raises(TopologyError):
+            calibrate_bandwidth(t1(2), repeats=0)
+
+
+class TestCalibratedTopology:
+    def test_matches_oracle(self):
+        oracle = t2(4, 1, 16, link_bps=160.0)
+        calibrated = CalibratedTopology(calibrate_bandwidth(oracle))
+        for i in range(16):
+            for j in range(16):
+                if i != j:
+                    assert calibrated.bandwidth(i, j) == pytest.approx(
+                        oracle.bandwidth(i, j)
+                    )
+
+    def test_rejects_non_square(self):
+        with pytest.raises(TopologyError):
+            CalibratedTopology(np.zeros((2, 3)))
+
+    def test_rejects_all_inf(self):
+        with pytest.raises(TopologyError):
+            CalibratedTopology(np.full((2, 2), np.inf))
+
+
+class TestCalibratedMachineGraph:
+    def test_same_bisection_as_oracle(self):
+        """The bandwidth-aware split from measurements matches the one
+        from the topology database — the paper's calibration claim."""
+        oracle = t2(2, 1, 16)
+        measured = calibrated_machine_graph(oracle)
+        left_m, right_m = bisect_machines(measured, seed=0)
+        pods_left = {oracle.pod_of(m) for m in left_m}
+        pods_right = {oracle.pod_of(m) for m in right_m}
+        assert pods_left.isdisjoint(pods_right)
+
+    def test_weights_match_oracle(self):
+        oracle = t1(4, link_bps=10.0)
+        measured = calibrated_machine_graph(oracle)
+        direct = MachineGraph(oracle)
+        assert np.allclose(measured.weights, direct.weights)

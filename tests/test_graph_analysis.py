@@ -1,0 +1,96 @@
+"""Tests for graph profiling and edge-list interchange."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    Graph,
+    clustering_coefficient,
+    ier_curve,
+    profile_graph,
+    read_edge_list,
+    ring,
+    star,
+    write_edge_list,
+)
+from repro.graph.analysis import degree_statistics, reciprocity
+
+
+class TestEdgeList:
+    def test_roundtrip(self, small_graph):
+        buf = io.StringIO()
+        write_edge_list(small_graph, buf)
+        buf.seek(0)
+        assert read_edge_list(buf) == small_graph
+
+    def test_comments_and_commas(self):
+        text = "# SNAP header\n% mm comment\n0,1\n1 2\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_rejects_short_line(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("42\n"))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("a b\n"))
+
+    def test_rejects_negative(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(io.StringIO("-1 0\n"))
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        write_edge_list(ring(5), path)
+        assert read_edge_list(path) == ring(5)
+
+
+class TestDegreeStatistics:
+    def test_uniform_gini_zero(self):
+        mean, peak, gini = degree_statistics(ring(10))
+        assert mean == 1.0 and peak == 1
+        assert gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_star_gini_high(self):
+        __, peak, gini = degree_statistics(star(20))
+        assert peak == 20
+        assert gini > 0.9
+
+    def test_empty(self):
+        assert degree_statistics(Graph.empty(0)) == (0.0, 0, 0.0)
+
+
+class TestClusteringAndReciprocity:
+    def test_triangle_fully_clustered(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        assert clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_ring_unclustered(self):
+        assert clustering_coefficient(ring(10)) == pytest.approx(0.0)
+
+    def test_reciprocity(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (1, 2)])
+        assert reciprocity(g) == pytest.approx(2 / 3)
+
+    def test_reciprocity_empty(self):
+        assert reciprocity(Graph.empty(3)) == 0.0
+
+
+class TestProfile:
+    def test_profile_fields(self, tiny_graph):
+        profile = profile_graph(tiny_graph, parts_list=(4,))
+        assert profile.num_vertices == tiny_graph.num_vertices
+        assert profile.num_edges == tiny_graph.num_edges
+        assert 0 <= profile.largest_component_fraction <= 1
+        assert 4 in profile.ier_curve
+
+    def test_report_renders(self, tiny_graph):
+        text = profile_graph(tiny_graph, with_ier=False).report()
+        assert "vertices" in text and "clustering" in text
+
+    def test_ier_curve_monotone(self, tiny_graph):
+        curve = ier_curve(tiny_graph, parts_list=(2, 8))
+        assert curve[2] >= curve[8]

@@ -1,0 +1,75 @@
+"""Tests for incremental graph construction and relabeling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, relabel_edges
+from repro.graph.digraph import Graph
+from repro.graph.generators import ring
+
+
+class TestGraphBuilder:
+    def test_incremental_equals_batch(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1).add_edge(1, 2).add_edges([(2, 3), (3, 0)])
+        assert builder.build() == ring(4)
+        assert builder.num_edges_added == 4
+
+    def test_chunked_equals_single(self, small_graph):
+        builder = GraphBuilder(num_vertices=small_graph.num_vertices)
+        edges = small_graph.edges()
+        half = edges.shape[0] // 2
+        builder.add_edges(edges[:half]).add_edges(edges[half:])
+        assert builder.build() == small_graph
+
+    def test_add_graph_with_offset(self):
+        builder = GraphBuilder()
+        builder.add_graph(ring(3)).add_graph(ring(3), offset=3)
+        g = builder.build()
+        assert g.num_vertices == 6
+        assert g.has_edge(0, 1) and g.has_edge(3, 4)
+        assert not g.has_edge(2, 3)
+
+    def test_empty_build(self):
+        assert GraphBuilder().build().num_vertices == 0
+        assert GraphBuilder(num_vertices=5).build().num_vertices == 5
+
+    def test_dedup_and_loops(self):
+        builder = GraphBuilder().add_edges([(0, 0), (0, 1), (0, 1)])
+        g = builder.build(dedup=True, drop_self_loops=True)
+        assert g.num_edges == 1
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edges([(0, -1)])
+        with pytest.raises(GraphError):
+            GraphBuilder(num_vertices=2).add_edge(0, 5)
+        with pytest.raises(GraphError):
+            GraphBuilder().add_edges(np.zeros((2, 3)))
+
+    def test_builder_reusable(self):
+        builder = GraphBuilder().add_edge(0, 1)
+        first = builder.build()
+        builder.add_edge(1, 2)
+        second = builder.build()
+        assert first.num_edges == 1
+        assert second.num_edges == 2
+
+
+class TestRelabel:
+    def test_string_ids(self):
+        arr, table = relabel_edges([("alice", "bob"), ("bob", "carol")])
+        assert table == ["alice", "bob", "carol"]
+        assert arr.tolist() == [[0, 1], [1, 2]]
+
+    def test_sparse_int_ids(self):
+        arr, table = relabel_edges([(1000, 5), (5, 70000)])
+        g = Graph.from_edges(arr)
+        assert g.num_vertices == 3
+        assert table[int(arr[0][0])] == 1000
+
+    def test_empty(self):
+        arr, table = relabel_edges([])
+        assert arr.shape == (0, 2)
+        assert table == []

@@ -1,0 +1,143 @@
+"""Cross-cutting invariants: optimization levels never change results,
+faults never change results, and I/O orderings hold for every app."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_ORDER, APP_REGISTRY
+from repro.cluster.faults import FaultPlan
+from repro.core.surfer import Surfer
+from tests.conftest import make_test_cluster
+
+
+def _results_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray):
+        return np.allclose(a, b)
+    from repro.graph.digraph import Graph
+    if isinstance(a, Graph):
+        return a == b
+    return a == b
+
+
+def make_app(name, select_ratio=None):
+    prop_cls, __, ___ = APP_REGISTRY[name]
+    if name in ("TC", "TFL"):
+        return prop_cls(select_ratio=select_ratio or 1.0)
+    return prop_cls()
+
+
+@pytest.fixture(scope="module")
+def surfers(tiny_graph):
+    return {
+        layout: Surfer(tiny_graph, make_test_cluster(4), num_parts=8,
+                       layout=layout, seed=8)
+        for layout in ("bandwidth-aware", "oblivious")
+    }
+
+
+class TestResultsInvariant:
+    @pytest.mark.parametrize("app_name", APP_ORDER)
+    def test_same_result_across_all_levels(self, app_name, surfers):
+        iters = APP_REGISTRY[app_name][2]
+        results = []
+        for layout in ("oblivious", "bandwidth-aware"):
+            for local_opts in (False, True):
+                job = surfers[layout].run_propagation(
+                    make_app(app_name), iterations=iters,
+                    local_opts=local_opts,
+                )
+                results.append(job.result)
+        for other in results[1:]:
+            assert _results_equal(results[0], other), app_name
+
+
+class TestIoOrderings:
+    @pytest.mark.parametrize("app_name", APP_ORDER)
+    def test_local_opts_never_increase_io(self, app_name, surfers):
+        iters = APP_REGISTRY[app_name][2]
+        surfer = surfers["bandwidth-aware"]
+        off = surfer.run_propagation(make_app(app_name), iterations=iters,
+                                     local_opts=False)
+        on = surfer.run_propagation(make_app(app_name), iterations=iters,
+                                    local_opts=True)
+        assert on.metrics.network_bytes <= off.metrics.network_bytes
+        assert on.metrics.disk_bytes <= off.metrics.disk_bytes
+
+    @pytest.mark.parametrize("app_name", ("NR", "RLG", "TFL"))
+    def test_colocated_layout_cuts_traffic(self, app_name, surfers):
+        """Edge-oriented apps ship less under the sketch layout."""
+        iters = APP_REGISTRY[app_name][2]
+        jobs = {
+            layout: surfers[layout].run_propagation(
+                make_app(app_name), iterations=iters, local_opts=True
+            )
+            for layout in surfers
+        }
+        assert (jobs["bandwidth-aware"].metrics.network_bytes
+                <= jobs["oblivious"].metrics.network_bytes)
+
+
+class TestFaultsInvariant:
+    @pytest.mark.parametrize("app_name", ("NR", "RLG"))
+    def test_propagation_result_survives_failure(self, tiny_graph,
+                                                 app_name):
+        iters = max(2, APP_REGISTRY[app_name][2])
+        normal = Surfer(tiny_graph, make_test_cluster(4), num_parts=8,
+                        seed=8).run_propagation(make_app(app_name),
+                                                iterations=iters)
+        kill_at = 0.4 * normal.metrics.response_time
+        surfer = Surfer(tiny_graph, make_test_cluster(4), num_parts=8,
+                        seed=8)
+        victim = int(surfer.store.primary(0))
+        faulty = surfer.run_propagation(
+            make_app(app_name), iterations=iters,
+            fault_plan=FaultPlan().add_kill(victim, kill_at),
+        )
+        assert _results_equal(normal.result, faulty.result)
+        assert faulty.metrics.response_time >= normal.metrics.response_time
+
+    def test_mapreduce_result_survives_failure(self, tiny_graph):
+        from repro.apps import NetworkRankingMapReduce
+        normal = Surfer(tiny_graph, make_test_cluster(4), num_parts=8,
+                        seed=8).run_mapreduce(NetworkRankingMapReduce(),
+                                              rounds=2)
+        kill_at = 0.4 * normal.metrics.response_time
+        surfer = Surfer(tiny_graph, make_test_cluster(4), num_parts=8,
+                        seed=8)
+        victim = int(surfer.store.primary(0))
+        faulty = surfer.run_mapreduce(
+            NetworkRankingMapReduce(), rounds=2,
+            fault_plan=FaultPlan().add_kill(victim, kill_at),
+        )
+        assert np.allclose(normal.result, faulty.result)
+
+    def test_cascaded_run_survives_failure(self, tiny_graph):
+        from repro.apps import NetworkRankingPropagation
+        normal = Surfer(tiny_graph, make_test_cluster(4), num_parts=8,
+                        seed=8).run_propagation(
+            NetworkRankingPropagation(), iterations=3, cascaded=True)
+        surfer = Surfer(tiny_graph, make_test_cluster(4), num_parts=8,
+                        seed=8)
+        victim = int(surfer.store.primary(1))
+        faulty = surfer.run_propagation(
+            NetworkRankingPropagation(), iterations=3, cascaded=True,
+            fault_plan=FaultPlan().add_kill(
+                victim, 0.3 * normal.metrics.response_time),
+        )
+        assert np.allclose(normal.result, faulty.result)
+
+    def test_two_failures(self, tiny_graph):
+        from repro.apps import NetworkRankingPropagation
+        normal = Surfer(tiny_graph, make_test_cluster(6), num_parts=8,
+                        seed=8).run_propagation(
+            NetworkRankingPropagation(), iterations=2)
+        surfer = Surfer(tiny_graph, make_test_cluster(6), num_parts=8,
+                        seed=8)
+        span = normal.metrics.response_time
+        plan = (FaultPlan()
+                .add_kill(0, 0.2 * span)
+                .add_kill(1, 0.5 * span))
+        faulty = surfer.run_propagation(NetworkRankingPropagation(),
+                                        iterations=2, fault_plan=plan)
+        assert np.allclose(normal.result, faulty.result)
+        assert len(surfer.cluster.alive_machines()) == 4

@@ -1,0 +1,63 @@
+"""Unit tests for the weighted undirected partitioning graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.graph.digraph import Graph
+from repro.graph.generators import ring
+from repro.partitioning.wgraph import WGraph
+
+
+class TestFromDigraph:
+    def test_symmetrizes(self):
+        g = Graph.from_edges([(0, 1)], num_vertices=2)
+        wg = WGraph.from_digraph(g)
+        assert wg.validate_symmetry()
+        assert list(wg.neighbors(1)) == [0]
+
+    def test_merges_antiparallel_weight(self):
+        g = Graph.from_edges([(0, 1), (1, 0)], num_vertices=2)
+        wg = WGraph.from_digraph(g)
+        assert wg.num_edges == 1
+        assert list(wg.edge_weights_of(0)) == [2]
+
+    def test_edge_balance_weights(self):
+        g = Graph.from_edges([(0, 1), (0, 2)], num_vertices=3)
+        wg = WGraph.from_digraph(g, balance="edges")
+        assert list(wg.vweights) == [3, 1, 1]
+
+    def test_vertex_balance_weights(self):
+        g = ring(4)
+        wg = WGraph.from_digraph(g, balance="vertices")
+        assert list(wg.vweights) == [1, 1, 1, 1]
+
+    def test_rejects_unknown_balance(self):
+        with pytest.raises(PartitioningError):
+            WGraph.from_digraph(ring(3), balance="magic")
+
+    def test_total_vertex_weight(self):
+        wg = WGraph.from_digraph(ring(4), balance="edges")
+        assert wg.total_vertex_weight == 8  # each vertex 1 + outdeg 1
+
+
+class TestFromEdges:
+    def test_basic(self):
+        wg = WGraph.from_edges([(0, 1), (1, 2)], num_vertices=3)
+        assert wg.num_edges == 2
+        assert wg.degree(1) == 2
+        assert wg.validate_symmetry()
+
+    def test_explicit_weights(self):
+        wg = WGraph.from_edges([(0, 1)], num_vertices=2, eweights=[5])
+        assert list(wg.edge_weights_of(0)) == [5]
+
+    def test_empty(self):
+        wg = WGraph.from_edges([], num_vertices=3)
+        assert wg.num_edges == 0
+        assert wg.num_vertices == 3
+
+    def test_alignment_validation(self):
+        with pytest.raises(PartitioningError):
+            WGraph(np.array([0, 1]), np.array([0]), np.array([1, 2]),
+                   np.array([1]))

@@ -1,0 +1,214 @@
+"""Tests for plan persistence, the job monitor and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.cluster.topology import t1
+from repro.core.bandwidth_aware import bandwidth_aware_partition
+from repro.core.persist import load_plan, save_plan
+from repro.errors import PlacementError
+from repro.runtime.monitor import JobMonitor, estimate_progress
+from repro.runtime.tasks import Task, TaskExecution
+
+
+class TestPersist:
+    def test_roundtrip(self, small_graph, tmp_path):
+        plan = bandwidth_aware_partition(small_graph, t1(4), 8, seed=0)
+        path = tmp_path / "plan.npz"
+        save_plan(plan, path)
+        restored = load_plan(path)
+        assert np.array_equal(restored.parts, plan.parts)
+        assert np.array_equal(restored.placement, plan.placement)
+        assert restored.num_parts == plan.num_parts
+        assert restored.method == plan.method
+        assert restored.node_cuts == plan.node_cuts
+        assert restored.machine_sets == plan.machine_sets
+
+    def test_restored_plan_runs(self, small_graph, tmp_path):
+        from repro.apps import NetworkRankingPropagation
+        from repro.core.surfer import Surfer
+        from tests.conftest import make_test_cluster
+
+        plan = bandwidth_aware_partition(small_graph, t1(4), 8, seed=0)
+        path = tmp_path / "plan.npz"
+        save_plan(plan, path)
+        surfer = Surfer(small_graph, make_test_cluster(4),
+                        plan=load_plan(path))
+        job = surfer.run_propagation(NetworkRankingPropagation())
+        assert job.result.size == small_graph.num_vertices
+
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"not a numpy archive")
+        with pytest.raises(PlacementError):
+            load_plan(path)
+
+    def test_rejects_wrong_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(PlacementError):
+            load_plan(path)
+
+
+def _exec(machine, start, end, kind="work", succeeded=True):
+    return TaskExecution(Task("t", machine=machine, kind=kind),
+                         machine, start, end, succeeded)
+
+
+class TestMonitor:
+    def test_progress_bounds(self):
+        execs = [_exec(0, 0, 10), _exec(1, 0, 20)]
+        assert estimate_progress(execs, 0) == 0.0
+        assert estimate_progress(execs, 25) == 1.0
+        assert estimate_progress(execs, 10) == pytest.approx(20 / 30)
+
+    def test_progress_empty(self):
+        assert estimate_progress([], 5.0) == 1.0
+
+    def test_utilization(self):
+        execs = [_exec(0, 0, 10), _exec(1, 0, 5)]
+        stats = JobMonitor(execs).machine_utilization()
+        assert stats[0].utilization == pytest.approx(1.0)
+        assert stats[1].utilization == pytest.approx(0.5)
+
+    def test_stragglers(self):
+        execs = [_exec(0, 0, 10), _exec(1, 0, 100), _exec(2, 0, 12)]
+        assert JobMonitor(execs).stragglers() == [1]
+
+    def test_stage_summary_counts_failures(self):
+        execs = [_exec(0, 0, 5, kind="transfer"),
+                 _exec(0, 5, 6, kind="transfer", succeeded=False)]
+        summary = JobMonitor(execs).stage_summary()
+        assert summary["transfer"]["tasks"] == 2
+        assert summary["transfer"]["failed"] == 1
+
+    def test_report_renders(self):
+        execs = [_exec(0, 0, 10, kind="map")]
+        report = JobMonitor(execs).report()
+        assert "makespan" in report and "map" in report
+
+    def test_empty_monitor(self):
+        monitor = JobMonitor([])
+        assert monitor.makespan == 0.0
+        assert monitor.stragglers() == []
+        assert "makespan" in monitor.report()
+
+
+class TestCli:
+    ARGS = ["--machines", "4", "--parts", "8", "--communities", "4",
+            "--community-size", "32"]
+
+    def test_run_propagation(self, capsys):
+        assert cli_main(["run", "VDD"] + self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "response time" in out and "makespan" in out
+
+    def test_run_mapreduce(self, capsys):
+        assert cli_main(["run", "VDD", "--engine", "mapreduce"]
+                        + self.ARGS) == 0
+
+    def test_run_extension_app(self, capsys):
+        assert cli_main(["run", "CC"] + self.ARGS) == 0
+
+    def test_diam_has_no_mapreduce(self, capsys):
+        assert cli_main(["run", "DIAM", "--engine", "mapreduce"]
+                        + self.ARGS) == 2
+
+    def test_partition_and_info(self, tmp_path, capsys):
+        plan_path = str(tmp_path / "p.npz")
+        assert cli_main(["partition", plan_path] + self.ARGS) == 0
+        assert cli_main(["info", plan_path]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth-aware" in out
+
+    def test_experiment_table4(self, capsys):
+        assert cli_main(["experiment", "table4"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert cli_main(["experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "NOPE"])
+
+
+class TestCliExperimentFormatting:
+    """Figure experiment commands, with the expensive functions stubbed."""
+
+    def _patch(self, monkeypatch, name, value):
+        from repro.bench import experiments
+        monkeypatch.setattr(experiments, name, lambda *a, **k: value)
+
+    def test_fig6_renders_bars(self, monkeypatch, capsys):
+        self._patch(monkeypatch, "fig6_topologies", {
+            "T1": {"oblivious": 100.0, "bandwidth-aware": 90.0,
+                   "improvement_pct": 10.0},
+        })
+        assert cli_main(["experiment", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "#" in out
+
+    def test_fig7_renders_bars(self, monkeypatch, capsys):
+        self._patch(monkeypatch, "fig7_mr_vs_prop", {
+            "NR": {"speedup": 2.0, "net_reduction_pct": 80.0},
+        })
+        assert cli_main(["experiment", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out and "#" in out
+
+    def test_fig9(self, monkeypatch, capsys):
+        self._patch(monkeypatch, "fig9_delay_sweep", {
+            2: {"improvement_pct": 17.0},
+            128: {"improvement_pct": 50.0},
+        })
+        assert cli_main(["experiment", "fig9"]) == 0
+        assert "+50.0%" in capsys.readouterr().out
+
+    def test_fig10(self, monkeypatch, capsys):
+        self._patch(monkeypatch, "fig10_fault_tolerance", {
+            "normal_response": 100.0, "faulty_response": 110.0,
+            "overhead_pct": 10.0, "failures": 1, "retries": 2,
+        })
+        assert cli_main(["experiment", "fig10"]) == 0
+        assert "3 tasks re-executed" in capsys.readouterr().out
+
+    def test_fig11_and_fig12(self, monkeypatch, capsys):
+        self._patch(monkeypatch, "fig11_scalability", {8: 10.0, 16: 9.0})
+        assert cli_main(["experiment", "fig11"]) == 0
+        self._patch(monkeypatch, "fig12_nr_scaling", {
+            8: {"prop_time": 5.0, "mr_time": 10.0, "speedup": 2.0},
+        })
+        assert cli_main(["experiment", "fig12"]) == 0
+        assert "2.00x" in capsys.readouterr().out
+
+    def test_cascade(self, monkeypatch, capsys):
+        self._patch(monkeypatch, "cascaded_propagation_experiment", {
+            "v_k_ratio": 0.2, "d_min": 4,
+            "iterations": {3: {"time_saving_pct": 8.0,
+                               "disk_saving_pct": 4.0}},
+        })
+        assert cli_main(["experiment", "cascade"]) == 0
+        assert "20.0%" in capsys.readouterr().out
+
+
+class TestRenderBars:
+    def test_empty(self):
+        from repro.bench.harness import render_bars
+        assert render_bars({}, title="t") == "t"
+
+    def test_zero_values(self):
+        from repro.bench.harness import render_bars
+        text = render_bars({"a": 0.0, "b": 1.0})
+        lines = text.splitlines()
+        assert "#" not in lines[0]
+        assert "#" in lines[1]
+
+    def test_proportional(self):
+        from repro.bench.harness import render_bars
+        text = render_bars({"half": 50, "full": 100}, width=10)
+        half, full = text.splitlines()
+        assert half.count("#") == 5
+        assert full.count("#") == 10

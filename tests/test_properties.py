@@ -1,0 +1,245 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioned import PartitionedGraph, VertexEncoding
+from repro.graph.digraph import Graph
+from repro.graph.io import roundtrip_binary, roundtrip_text
+from repro.partitioning.coarsen import contract_matching
+from repro.partitioning.matching import heavy_edge_matching
+from repro.partitioning.metrics import (
+    cut_matrix,
+    edge_cut,
+    inner_edge_ratio,
+    weighted_cut,
+)
+from repro.partitioning.refine import fm_refine
+from repro.partitioning.wgraph import WGraph
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+@st.composite
+def graphs(draw, max_vertices=24, max_edges=80):
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        min_size=m, max_size=m,
+    ))
+    return Graph.from_edges(edges, num_vertices=n, dedup=True,
+                            drop_self_loops=True)
+
+
+@st.composite
+def partitioned_graphs(draw, max_parts=5):
+    g = draw(graphs())
+    k = draw(st.integers(min_value=1, max_value=max_parts))
+    parts = np.array(draw(st.lists(
+        st.integers(0, k - 1), min_size=g.num_vertices,
+        max_size=g.num_vertices,
+    )), dtype=np.int64)
+    return g, parts, k
+
+
+COMMON = settings(max_examples=40, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+# ----------------------------------------------------------------------
+# Graph invariants
+# ----------------------------------------------------------------------
+class TestGraphProperties:
+    @COMMON
+    @given(graphs())
+    def test_degree_sums_equal_edge_count(self, g):
+        assert g.out_degrees().sum() == g.num_edges
+        assert g.in_degrees().sum() == g.num_edges
+
+    @COMMON
+    @given(graphs())
+    def test_reverse_involution(self, g):
+        assert g.reverse().reverse() == g
+
+    @COMMON
+    @given(graphs())
+    def test_reverse_swaps_degrees(self, g):
+        r = g.reverse()
+        assert np.array_equal(r.out_degrees(), g.in_degrees())
+
+    @COMMON
+    @given(graphs())
+    def test_serialization_roundtrips(self, g):
+        assert roundtrip_text(g) == g
+        assert roundtrip_binary(g) == g
+
+    @COMMON
+    @given(graphs())
+    def test_undirected_view_symmetric(self, g):
+        wg = WGraph.from_digraph(g)
+        assert wg.validate_symmetry()
+
+    @COMMON
+    @given(graphs())
+    def test_undirected_weight_preserves_edge_mass(self, g):
+        """Total undirected weight equals the non-loop directed edges."""
+        wg = WGraph.from_digraph(g)
+        loops = sum(1 for u, v in g.iter_edges() if u == v)
+        assert wg.eweights.sum() // 2 == g.num_edges - loops
+
+
+# ----------------------------------------------------------------------
+# Partitioning invariants
+# ----------------------------------------------------------------------
+class TestPartitioningProperties:
+    @COMMON
+    @given(partitioned_graphs())
+    def test_cut_matrix_consistent_with_edge_cut(self, gp):
+        g, parts, k = gp
+        mat = cut_matrix(g, parts, k)
+        assert mat.sum() == g.num_edges
+        off_diagonal = mat.sum() - np.trace(mat)
+        assert off_diagonal == edge_cut(g, parts)
+
+    @COMMON
+    @given(partitioned_graphs())
+    def test_ier_bounds(self, gp):
+        g, parts, k = gp
+        assert 0.0 <= inner_edge_ratio(g, parts) <= 1.0
+
+    @COMMON
+    @given(graphs(), st.integers(0, 2**31 - 1))
+    def test_matching_involution(self, g, seed):
+        wg = WGraph.from_digraph(g)
+        match = heavy_edge_matching(wg, np.random.default_rng(seed))
+        assert np.array_equal(match[match], np.arange(wg.num_vertices))
+
+    @COMMON
+    @given(graphs(), st.integers(0, 2**31 - 1))
+    def test_coarsening_preserves_cut(self, g, seed):
+        wg = WGraph.from_digraph(g)
+        rng = np.random.default_rng(seed)
+        match = heavy_edge_matching(wg, rng)
+        coarse, mapping = contract_matching(wg, match)
+        coarse_side = rng.integers(0, 2, coarse.num_vertices)
+        assert weighted_cut(coarse, coarse_side) == weighted_cut(
+            wg, coarse_side[mapping]
+        )
+
+    @COMMON
+    @given(graphs(), st.integers(0, 2**31 - 1))
+    def test_fm_never_increases_cut(self, g, seed):
+        wg = WGraph.from_digraph(g)
+        if wg.num_vertices < 3:
+            return
+        rng = np.random.default_rng(seed)
+        side = rng.integers(0, 2, wg.num_vertices)
+        refined = fm_refine(wg, side)
+        assert weighted_cut(wg, refined) <= weighted_cut(wg, side)
+
+
+# ----------------------------------------------------------------------
+# Partitioned graph / encoding invariants
+# ----------------------------------------------------------------------
+class TestEncodingProperties:
+    @COMMON
+    @given(partitioned_graphs())
+    def test_encoding_bijective(self, gp):
+        g, parts, k = gp
+        enc = VertexEncoding(parts, k)
+        seen = {enc.encode(v) for v in range(g.num_vertices)}
+        assert seen == set(range(g.num_vertices))
+
+    @COMMON
+    @given(partitioned_graphs())
+    def test_encoding_partition_lookup_matches(self, gp):
+        g, parts, k = gp
+        enc = VertexEncoding(parts, k)
+        for v in range(g.num_vertices):
+            assert enc.partition_of(enc.encode(v)) == parts[v]
+
+    @COMMON
+    @given(partitioned_graphs())
+    def test_partition_edge_views_cover_graph(self, gp):
+        g, parts, k = gp
+        pg = PartitionedGraph(g, parts, k)
+        total = sum(pg.partition_edge_count(p) for p in range(k))
+        assert total == g.num_edges
+
+    @COMMON
+    @given(partitioned_graphs())
+    def test_boundary_iff_incident_cross_edge(self, gp):
+        g, parts, k = gp
+        pg = PartitionedGraph(g, parts, k)
+        for v in range(g.num_vertices):
+            incident_cross = any(
+                parts[v] != parts[u]
+                for u in list(g.out_neighbors(v)) + list(g.in_neighbors(v))
+            )
+            assert bool(pg.boundary_mask[v]) == incident_cross
+
+
+# ----------------------------------------------------------------------
+# Network-model invariants
+# ----------------------------------------------------------------------
+class TestNetworkProperties:
+    @COMMON
+    @given(
+        st.lists(st.tuples(st.integers(1, 7),
+                           st.floats(0.0, 1e6, allow_nan=False)),
+                 max_size=12),
+        st.floats(1.0, 1e6, allow_nan=False),
+    )
+    def test_flows_time_nonnegative_and_nic_bounded_below(self, flows, nic):
+        from repro.cluster.network import NetworkModel
+        from repro.cluster.topology import t2
+
+        net = NetworkModel(t2(2, 1, 8, link_bps=100.0))
+        t = net.flows_time(0, flows, nic_bps=nic)
+        total = sum(b for __, b in flows)
+        assert t >= total / nic - 1e-9
+        assert t >= 0.0
+
+    @COMMON
+    @given(
+        st.lists(st.tuples(st.integers(1, 7),
+                           st.floats(0.0, 1e6, allow_nan=False)),
+                 min_size=1, max_size=8),
+    )
+    def test_flows_time_monotone_in_bytes(self, flows):
+        from repro.cluster.network import NetworkModel
+        from repro.cluster.topology import t2
+
+        net = NetworkModel(t2(2, 1, 8, link_bps=100.0))
+        base = net.flows_time(0, flows, nic_bps=50.0)
+        bigger = [(peer, b * 2) for peer, b in flows]
+        assert net.flows_time(0, bigger, nic_bps=50.0) >= base - 1e-9
+
+    @COMMON
+    @given(st.integers(0, 7), st.integers(0, 7))
+    def test_effective_bandwidth_never_exceeds_link(self, a, b):
+        from repro.cluster.network import NetworkModel
+        from repro.cluster.topology import t2
+
+        net = NetworkModel(t2(2, 1, 8, link_bps=100.0))
+        if a != b:
+            assert net.effective_bandwidth(a, b, {}) <= 100.0
+            assert (net.effective_bandwidth(a, b, None)
+                    <= net.effective_bandwidth(a, b, {}))
+
+    @COMMON
+    @given(st.integers(1, 6))
+    def test_fair_share_decreases_with_users(self, extra_users):
+        from repro.cluster.network import NetworkModel
+        from repro.cluster.topology import t2
+
+        topo = t2(2, 1, 8, link_bps=100.0)
+        net = NetworkModel(topo)
+        key = ("uplink", 0, 2)
+        few = {key: {0}}
+        many = {key: set(range(extra_users + 1))}
+        assert (net.effective_bandwidth(0, 4, many)
+                <= net.effective_bandwidth(0, 4, few) + 1e-9)

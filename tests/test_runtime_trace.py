@@ -1,0 +1,58 @@
+"""Unit tests for execution-trace analysis (Figure 10 timelines)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.tasks import Task, TaskExecution
+from repro.runtime.trace import io_rate_timeline, machine_timeline
+
+
+def execution(machine, start, end, read=0.0, write=0.0, succeeded=True,
+              name="t"):
+    task = Task(name, machine=machine, disk_read_bytes=read,
+                disk_write_bytes=write)
+    return TaskExecution(task, machine, start, end, succeeded)
+
+
+class TestIoRateTimeline:
+    def test_uniform_rate(self):
+        execs = [execution(0, 0.0, 10.0, read=100.0)]
+        times, rates = io_rate_timeline(execs, bucket_seconds=5.0)
+        assert list(times) == [0.0, 5.0]
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[1] == pytest.approx(10.0)
+
+    def test_total_bytes_conserved(self):
+        execs = [execution(0, 1.0, 7.0, read=60.0, write=30.0),
+                 execution(1, 3.0, 9.0, read=45.0)]
+        times, rates = io_rate_timeline(execs, bucket_seconds=2.0)
+        assert (rates * 2.0).sum() == pytest.approx(135.0)
+
+    def test_machine_filter(self):
+        execs = [execution(0, 0.0, 4.0, read=40.0),
+                 execution(1, 0.0, 4.0, read=80.0)]
+        __, rates0 = io_rate_timeline(execs, 4.0, machine=0)
+        assert rates0[0] == pytest.approx(10.0)
+
+    def test_empty(self):
+        times, rates = io_rate_timeline([], 5.0)
+        assert times.size == 0 and rates.size == 0
+
+    def test_zero_duration_task_bytes_in_one_bucket(self):
+        execs = [execution(0, 3.0, 3.0, read=50.0)]
+        times, rates = io_rate_timeline(execs, bucket_seconds=2.0)
+        assert (rates * 2.0).sum() == pytest.approx(50.0)
+
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            io_rate_timeline([], 0.0)
+
+
+class TestMachineTimeline:
+    def test_grouped_and_sorted(self):
+        execs = [execution(1, 5.0, 6.0, name="b"),
+                 execution(0, 0.0, 1.0, name="a"),
+                 execution(1, 1.0, 2.0, name="c")]
+        timeline = machine_timeline(execs)
+        assert list(timeline) == [0, 1]
+        assert [name for __, __, name, __ in timeline[1]] == ["c", "b"]
