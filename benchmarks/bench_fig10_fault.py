@@ -7,7 +7,7 @@ as a dip plus a late bump in the disk-I/O-rate timeline.
 
 import numpy as np
 
-from repro.bench.experiments import fig10_fault_tolerance
+from repro.bench.experiments import fault_scenario_sweep, fig10_fault_tolerance
 from repro.bench.harness import ExperimentTable
 
 
@@ -39,3 +39,49 @@ def test_fig10_fault_tolerance(benchmark, workload, record):
     assert after_kill.size > 0 and np.any(after_kill > 0)
     # and it finishes later than the normal run
     assert result["faulty_response"] > result["normal_response"]
+
+
+def test_fault_scenario_sweep(benchmark, workload, record):
+    """Fault-tolerance v2 sweep: kills, transients, stragglers, double kill."""
+    result = benchmark.pedantic(
+        lambda: fault_scenario_sweep(workload), rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        title=(f"Fault scenarios: NR, victim machine {result['victim']} "
+               f"(baseline {result['baseline_response']:.0f}s)"),
+        columns=["response (s)", "overhead (%)", "completed",
+                 "re-repl (B)", "recovery events"],
+    )
+    base = result["baseline_response"]
+    for name, s in result["scenarios"].items():
+        events = ", ".join(f"{k}={v}" for k, v in sorted(s["events"].items()))
+        table.add_row(name, [
+            round(s["response"], 1),
+            round(100.0 * (s["response"] - base) / base, 1),
+            "yes" if s["completed"] else "NO",
+            s["re_replication_bytes"],
+            events or "-",
+        ])
+    table.notes.append(
+        "transient faults keep disk state; kills trigger background "
+        "re-replication; straggler-spec enables speculative backups"
+    )
+    record("fault_scenario_sweep", table.render())
+
+    scenarios = result["scenarios"]
+    # every scenario recovers and reproduces the baseline result
+    assert all(s["completed"] for s in scenarios.values())
+    # double failure under replication=3 survives and repairs both losses
+    assert scenarios["double-kill"]["re_replication_bytes"] > 0
+    assert scenarios["double-kill"]["events"]["machine-down"] == 2
+    # the pipelined drain now handles faults too
+    assert scenarios["kill-pipelined"]["completed"]
+    assert scenarios["kill-pipelined"]["events"].get("redispatch", 0) >= 1
+    # transient faults recover without touching storage
+    assert scenarios["transient"]["events"].get("machine-recovered") == 1
+    assert scenarios["transient"]["re_replication_bytes"] == 0
+    # speculative execution shortens the straggler makespan
+    assert (scenarios["straggler-spec"]["response"]
+            < scenarios["straggler"]["response"])
+    assert scenarios["straggler-spec"]["events"].get("spec-win", 0) >= 1

@@ -10,6 +10,8 @@ reproduction targets and are asserted by ``tests/test_experiments.py``.
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 
 from repro.apps import APP_ORDER, APP_REGISTRY
@@ -56,6 +58,7 @@ __all__ = [
     "cascaded_propagation_experiment",
     "fig9_delay_sweep",
     "fig10_fault_tolerance",
+    "fault_scenario_sweep",
     "fig11_scalability",
     "fig12_nr_scaling",
     "make_app",
@@ -423,6 +426,93 @@ def fig10_fault_tolerance(
             1 for e in faulty.executions
             if e.task.name.endswith("#retry")
         ),
+    }
+
+
+def fault_scenario_sweep(
+    workload: Workload | None = None,
+    iterations: int = 3,
+) -> dict[str, object]:
+    """Fault-tolerance v2 sweep: kill / transient / straggler / double kill.
+
+    Extends the Figure 10 experiment across the whole fault model: a
+    permanent kill (serial and pipelined drain), a transient outage the
+    machine recovers from, a straggling machine with speculation off and
+    on, and a double failure that only survives because lost replicas are
+    re-created in the background.  Every scenario must reproduce the
+    fault-free result exactly; the sweep reports per-scenario makespan and
+    structured recovery-event counts.
+    """
+    workload = workload or standard_workload()
+    base = workload.surfer("bandwidth-aware")
+
+    def run(plan=None, pipelined=False, speculation=False):
+        # fresh Surfer per scenario: failures mutate replica metadata —
+        # but reuse the partition plan (copied, since Surfer refines the
+        # placement in place), which faults never touch
+        plan_copy = dataclasses.replace(
+            base.plan, placement=base.plan.placement.copy()
+        )
+        surfer = Surfer(
+            workload.graph, workload.cluster,
+            num_parts=workload.num_parts, layout="bandwidth-aware",
+            seed=workload.seed, plan=plan_copy,
+        )
+        return surfer.run_propagation(
+            make_app("NR", "propagation"), iterations=iterations,
+            local_opts=True, fault_plan=plan, pipelined=pipelined,
+            speculation=speculation,
+        )
+
+    baseline = run()
+    base_resp = baseline.metrics.response_time
+    victim = int(base.store.primary(0))
+    second = next(
+        int(base.store.primary(p))
+        for p in range(1, base.store.num_partitions)
+        if int(base.store.primary(p)) != victim
+    )
+    t_first = 0.33 * base_resp
+    t_second = 0.66 * base_resp
+
+    scenarios: dict[str, dict[str, object]] = {}
+
+    def record(name: str, plan=None, **kwargs):
+        job = run(plan=plan, **kwargs)
+        completed = (not job.failed) and np.allclose(
+            baseline.result, job.result
+        )
+        events: dict[str, int] = {}
+        for ev in job.recovery_events:
+            events[ev.kind] = events.get(ev.kind, 0) + 1
+        scenarios[name] = {
+            "response": job.metrics.response_time,
+            "events": events,
+            "completed": completed,
+            "re_replication_bytes": job.metrics.re_replication_bytes,
+        }
+        return job
+
+    record("kill", FaultPlan().add_kill(victim, t_first))
+    record("kill-pipelined", FaultPlan().add_kill(victim, t_first),
+           pipelined=True)
+    record("transient",
+           FaultPlan().add_transient(victim, t_first,
+                                     downtime=0.15 * base_resp))
+    straggle = dict(machine=victim, time=0.0,
+                    duration=100.0 * base_resp, factor=4.0)
+    record("straggler", FaultPlan().add_slowdown(**straggle))
+    record("straggler-spec", FaultPlan().add_slowdown(**straggle),
+           speculation=True)
+    record("double-kill",
+           FaultPlan().add_kill(victim, t_first)
+                      .add_kill(second, t_second))
+
+    return {
+        "victim": victim,
+        "second_victim": second,
+        "baseline_response": base_resp,
+        "scenarios": scenarios,
     }
 
 

@@ -14,7 +14,13 @@ from repro.cluster.network import NetworkModel, TrafficCounter
 from repro.cluster.machine import MachineState
 from repro.cluster.cluster import Cluster, ClusterMetrics, partitions_for_memory
 from repro.cluster.storage import PartitionStore
-from repro.cluster.faults import FaultPlan, MachineKill
+from repro.cluster.faults import (
+    FaultPlan,
+    MachineKill,
+    Outage,
+    Slowdown,
+    TransientFault,
+)
 from repro.cluster.calibration import (
     CalibratedTopology,
     calibrate_bandwidth,
@@ -41,6 +47,9 @@ __all__ = [
     "PartitionStore",
     "FaultPlan",
     "MachineKill",
+    "Outage",
+    "Slowdown",
+    "TransientFault",
     "CalibratedTopology",
     "calibrate_bandwidth",
     "calibrated_machine_graph",

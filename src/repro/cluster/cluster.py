@@ -30,6 +30,9 @@ class ClusterMetrics:
     network_bytes: int
     disk_read_bytes: int
     disk_write_bytes: int
+    #: bytes copied in the background to restore lost replicas (included
+    #: in ``network_bytes`` — re-replication is real traffic on the wire)
+    re_replication_bytes: int = 0
 
     @property
     def disk_bytes(self) -> int:
@@ -96,6 +99,7 @@ class Cluster:
             network_bytes=self.network.traffic.total_bytes,
             disk_read_bytes=sum(m.disk_read_bytes for m in self.machines),
             disk_write_bytes=sum(m.disk_write_bytes for m in self.machines),
+            re_replication_bytes=self.network.traffic.background_bytes,
         )
 
     def reset(self) -> None:

@@ -31,6 +31,10 @@ class MachineState:
     bytes_received: int = 0
     cpu_ops: float = 0.0
     tasks_executed: int = 0
+    #: transient-fault bookkeeping: total seconds spent down, and how many
+    #: times the machine left and re-joined the cluster
+    down_seconds: float = 0.0
+    recoveries: int = 0
 
     def fail(self, at_time: float) -> None:
         """Mark the machine dead as of ``at_time`` (heartbeat loss)."""
@@ -48,3 +52,5 @@ class MachineState:
         self.bytes_received = 0
         self.cpu_ops = 0.0
         self.tasks_executed = 0
+        self.down_seconds = 0.0
+        self.recoveries = 0

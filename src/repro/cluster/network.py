@@ -18,25 +18,34 @@ __all__ = ["TrafficCounter", "NetworkModel"]
 
 @dataclass
 class TrafficCounter:
-    """Accumulated traffic of one simulation run."""
+    """Accumulated traffic of one simulation run.
+
+    ``background_bytes`` counts transfers flagged as background repair
+    traffic (re-replication after a machine failure); they are included in
+    ``total_bytes`` as well — the copies are real flows on the wire.
+    """
 
     total_bytes: int = 0
     cross_pod_bytes: int = 0
+    background_bytes: int = 0
     transfers: int = 0
     per_pair: dict[tuple[int, int], int] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, nbytes: int,
-               cross_pod: bool) -> None:
+               cross_pod: bool, background: bool = False) -> None:
         self.total_bytes += nbytes
         self.transfers += 1
         if cross_pod:
             self.cross_pod_bytes += nbytes
+        if background:
+            self.background_bytes += nbytes
         key = (src, dst)
         self.per_pair[key] = self.per_pair.get(key, 0) + nbytes
 
     def reset(self) -> None:
         self.total_bytes = 0
         self.cross_pod_bytes = 0
+        self.background_bytes = 0
         self.transfers = 0
         self.per_pair.clear()
 
@@ -58,12 +67,17 @@ class NetworkModel:
             return 0.0
         return nbytes / self.topology.bandwidth(src, dst)
 
-    def transfer(self, src: int, dst: int, nbytes: int) -> float:
-        """Record an accounted transfer and return its simulated time."""
+    def transfer(self, src: int, dst: int, nbytes: int,
+                 background: bool = False) -> float:
+        """Record an accounted transfer and return its simulated time.
+
+        ``background=True`` marks repair traffic (replica re-creation):
+        counted as real network flow but tracked separately.
+        """
         if src == dst or nbytes <= 0:
             return 0.0
         cross_pod = self.topology.pod_of(src) != self.topology.pod_of(dst)
-        self.traffic.record(src, dst, int(nbytes), cross_pod)
+        self.traffic.record(src, dst, int(nbytes), cross_pod, background)
         return nbytes / self.topology.bandwidth(src, dst)
 
     def effective_bandwidth(

@@ -4,14 +4,16 @@ Each graph partition has one *primary* replica on the machine chosen by the
 placement algorithm plus ``replication - 1`` secondaries on distinct other
 machines, following GFS's scheme (Section 3).  On a machine failure the
 store promotes a surviving replica, which is what lets the job manager
-re-execute a task elsewhere (Appendix B, Figure 10).
+re-execute a task elsewhere (Appendix B, Figure 10), and — like GFS — the
+lost replicas are *re-created* on surviving machines so a later failure
+does not hit a degraded replica set (:meth:`re_replicate`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import PlacementError
+from repro.errors import DataLossError, PlacementError
 
 __all__ = ["PartitionStore"]
 
@@ -25,8 +27,14 @@ class PartitionStore:
         num_machines: int,
         replication: int = 3,
         seed: int = 0,
+        partition_bytes=None,
     ):
-        """``placement[p]`` is partition ``p``'s primary machine."""
+        """``placement[p]`` is partition ``p``'s primary machine.
+
+        ``partition_bytes`` (optional, per partition) sizes the copy
+        traffic of replica re-creation; without it re-replication still
+        restores replica counts but charges no bytes.
+        """
         placement = np.asarray(placement, dtype=np.int64)
         if replication < 1:
             raise PlacementError("replication must be >= 1")
@@ -40,8 +48,18 @@ class PartitionStore:
             raise PlacementError("placement machine id out of range")
         self.num_machines = num_machines
         self.replication = replication
+        if partition_bytes is None:
+            self.partition_bytes = np.zeros(placement.size, dtype=np.int64)
+        else:
+            self.partition_bytes = np.asarray(partition_bytes,
+                                              dtype=np.int64)
+            if self.partition_bytes.size != placement.size:
+                raise PlacementError(
+                    "partition_bytes length must match the placement"
+                )
         rng = np.random.default_rng(seed)
         self._replicas: list[list[int]] = []
+        self._failed: set[int] = set()
         for p, primary in enumerate(placement):
             others = [m for m in range(num_machines) if m != primary]
             extra = rng.choice(
@@ -53,6 +71,11 @@ class PartitionStore:
     def num_partitions(self) -> int:
         return len(self._replicas)
 
+    @property
+    def failed_machines(self) -> frozenset[int]:
+        """Machines reported dead via :meth:`handle_failure`."""
+        return frozenset(self._failed)
+
     def primary(self, partition: int) -> int:
         """Current primary machine of ``partition``."""
         return self._replicas[partition][0]
@@ -60,6 +83,10 @@ class PartitionStore:
     def replicas(self, partition: int) -> list[int]:
         """All machines holding ``partition`` (primary first)."""
         return list(self._replicas[partition])
+
+    def partition_nbytes(self, partition: int) -> int:
+        """Disk footprint of one partition (0 when sizes were not given)."""
+        return int(self.partition_bytes[partition])
 
     def placement_array(self) -> np.ndarray:
         """Primary machine per partition as an array."""
@@ -69,22 +96,74 @@ class PartitionStore:
         """Partitions whose *primary* replica lives on ``machine``."""
         return [p for p, r in enumerate(self._replicas) if r[0] == machine]
 
+    # ------------------------------------------------------------------
     def handle_failure(self, machine: int) -> list[int]:
         """Drop ``machine`` from every replica set; promote survivors.
 
-        Returns the partitions whose primary moved.  Raises if any
-        partition would lose its last replica.
+        Idempotent: a repeated call for the same machine is a no-op and
+        returns ``[]``.  Returns the partitions whose primary moved.
+        Raises :class:`DataLossError` if any partition would lose its
+        last replica — the job cannot produce a correct result then.
         """
+        if machine in self._failed:
+            return []
+        self._failed.add(machine)
         moved: list[int] = []
         for p, reps in enumerate(self._replicas):
             if machine not in reps:
                 continue
             survivors = [m for m in reps if m != machine]
             if not survivors:
-                raise PlacementError(
+                raise DataLossError(
                     f"partition {p} lost its last replica on machine {machine}"
                 )
             if reps[0] == machine:
                 moved.append(p)
             self._replicas[p] = survivors
         return moved
+
+    def add_replica(self, partition: int, machine: int) -> None:
+        """Register a freshly copied replica of ``partition``."""
+        if not 0 <= machine < self.num_machines:
+            raise PlacementError(f"unknown machine {machine}")
+        if machine in self._failed:
+            raise PlacementError(
+                f"cannot place a replica on failed machine {machine}"
+            )
+        reps = self._replicas[partition]
+        if machine not in reps:
+            reps.append(machine)
+
+    def under_replicated(self) -> list[int]:
+        """Partitions currently holding fewer than ``replication`` copies."""
+        return [p for p, r in enumerate(self._replicas)
+                if len(r) < self.replication]
+
+    def re_replicate(self, alive) -> list[tuple[int, int, int]]:
+        """Restore every under-replicated partition on surviving machines.
+
+        ``alive`` is the set of machines able to receive copies.  New
+        replica holders are chosen deterministically — the alive machine
+        holding the fewest replicas (ties to the lowest id) — and each
+        copy is sourced from the partition's current primary.  Returns the
+        copies made as ``(partition, src, dst)`` so the caller can charge
+        the traffic; the store metadata is updated in place.
+        """
+        alive = sorted(set(alive) - self._failed)
+        load = {m: 0 for m in alive}
+        for reps in self._replicas:
+            for m in reps:
+                if m in load:
+                    load[m] += 1
+        copies: list[tuple[int, int, int]] = []
+        for p in self.under_replicated():
+            reps = self._replicas[p]
+            while len(reps) < self.replication:
+                candidates = [m for m in alive if m not in reps]
+                if not candidates:
+                    break  # fewer survivors than the replication target
+                dst = min(candidates, key=lambda m: (load[m], m))
+                reps.append(dst)
+                load[dst] += 1
+                copies.append((p, reps[0], dst))
+        return copies

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import JobError
+from repro.errors import DataLossError, JobError
 from repro.cluster.cluster import Cluster, ClusterMetrics
 from repro.cluster.faults import FaultPlan
 from repro.cluster.storage import PartitionStore
@@ -53,7 +53,7 @@ from repro.propagation.cascade import (
 )
 from repro.propagation.engine import IterationReport, PropagationEngine
 from repro.runtime.scheduler import StageScheduler
-from repro.runtime.tasks import TaskExecution
+from repro.runtime.tasks import RecoveryEvent, TaskExecution
 
 __all__ = ["OptimizationLevel", "O1", "O2", "O3", "O4", "ALL_LEVELS",
            "JobResult", "Surfer"]
@@ -81,12 +81,19 @@ ALL_LEVELS = (O1, O2, O3, O4)
 
 @dataclass
 class JobResult:
-    """Outcome of one Surfer job."""
+    """Outcome of one Surfer job.
+
+    ``failed=True`` means the job could not recover (every replica of some
+    partition lost); ``result`` is then None and ``error`` says why.
+    """
 
     result: Any
     metrics: ClusterMetrics
     reports: list = field(default_factory=list)
     executions: list[TaskExecution] = field(default_factory=list)
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
+    failed: bool = False
+    error: str | None = None
 
     @property
     def response_time(self) -> float:
@@ -141,7 +148,9 @@ class Surfer:
         )
         replication = min(replication, cluster.num_machines)
         self.store = PartitionStore(
-            plan.placement, cluster.num_machines, replication, seed
+            plan.placement, cluster.num_machines, replication, seed,
+            partition_bytes=[self.pgraph.partition_bytes(p)
+                             for p in range(self.pgraph.num_parts)],
         )
         # The job manager dispatches each partition's tasks to the least
         # loaded replica holder (bottleneck relief; Appendix B).
@@ -171,6 +180,7 @@ class Surfer:
         fault_plan: FaultPlan | None = None,
         until_convergence: bool = False,
         pipelined: bool = False,
+        speculation: bool = False,
     ) -> JobResult:
         """Run ``iterations`` of propagation; returns the app's result.
 
@@ -180,7 +190,8 @@ class Surfer:
         bound and the loop stops early once the app's ``converged(state)``
         hook returns True (apps without the hook run all iterations).
         ``pipelined=True`` overlaps disk/CPU/network phases across a
-        machine's consecutive tasks (see StageScheduler).
+        machine's consecutive tasks, ``speculation=True`` launches backup
+        copies of straggler tasks (see StageScheduler).
         """
         if iterations < 1:
             raise JobError("iterations must be >= 1")
@@ -191,7 +202,8 @@ class Surfer:
             )
         self.cluster.reset()
         scheduler = StageScheduler(self.cluster, fault_plan, self.store,
-                                   pipelined=pipelined)
+                                   pipelined=pipelined,
+                                   speculation=speculation)
         state = app.setup(self.pgraph)
 
         fractions = None
@@ -206,17 +218,22 @@ class Surfer:
         )
 
         reports: list[IterationReport] = []
-        for _ in range(iterations):
-            combined, report = engine.run_iteration(app, state, scheduler)
-            app.update(state, combined)
-            reports.append(report)
-            if until_convergence and converged(state):
-                break
+        try:
+            for _ in range(iterations):
+                combined, report = engine.run_iteration(app, state,
+                                                        scheduler)
+                app.update(state, combined)
+                reports.append(report)
+                if until_convergence and converged(state):
+                    break
+        except DataLossError as exc:
+            return self._failed_job(scheduler, reports, exc)
         return JobResult(
             result=app.finalize(state),
             metrics=self.cluster.metrics(),
             reports=reports,
             executions=scheduler.executions,
+            recovery_events=scheduler.recovery_events,
         )
 
     def run_mapreduce(
@@ -226,10 +243,11 @@ class Surfer:
         fault_plan: FaultPlan | None = None,
         until_convergence: bool = False,
         pipelined: bool = False,
+        speculation: bool = False,
     ) -> JobResult:
         """Run ``rounds`` of MapReduce; returns the app's result.
 
-        ``until_convergence`` and ``pipelined`` mirror
+        ``until_convergence``, ``pipelined`` and ``speculation`` mirror
         :meth:`run_propagation`.
         """
         if rounds < 1:
@@ -241,22 +259,40 @@ class Surfer:
             )
         self.cluster.reset()
         scheduler = StageScheduler(self.cluster, fault_plan, self.store,
-                                   pipelined=pipelined)
+                                   pipelined=pipelined,
+                                   speculation=speculation)
         state = app.setup(self.pgraph)
         reports: list[RoundReport] = []
         engine = MapReduceEngine(self.pgraph, self.store, self.cluster,
                                  assignment=self.assignment)
-        for _ in range(rounds):
-            outputs, report = engine.run_round(app, state, scheduler)
-            app.update(state, outputs)
-            reports.append(report)
-            if until_convergence and converged(state):
-                break
+        try:
+            for _ in range(rounds):
+                outputs, report = engine.run_round(app, state, scheduler)
+                app.update(state, outputs)
+                reports.append(report)
+                if until_convergence and converged(state):
+                    break
+        except DataLossError as exc:
+            return self._failed_job(scheduler, reports, exc)
         return JobResult(
             result=app.finalize(state),
             metrics=self.cluster.metrics(),
             reports=reports,
             executions=scheduler.executions,
+            recovery_events=scheduler.recovery_events,
+        )
+
+    def _failed_job(self, scheduler: StageScheduler, reports: list,
+                    exc: DataLossError) -> JobResult:
+        """A clean failed-job result after unrecoverable data loss."""
+        return JobResult(
+            result=None,
+            metrics=self.cluster.metrics(),
+            reports=reports,
+            executions=scheduler.executions,
+            recovery_events=scheduler.recovery_events,
+            failed=True,
+            error=str(exc),
         )
 
 

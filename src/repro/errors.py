@@ -31,6 +31,16 @@ class PlacementError(SurferError):
     """Partition-to-machine placement is inconsistent or impossible."""
 
 
+class DataLossError(PlacementError):
+    """Every replica of some partition was lost; the job cannot recover.
+
+    Subclasses :class:`PlacementError` so existing callers that guarded the
+    replica store keep working; new code should catch this directly — the
+    scheduler and the Surfer facade convert it into a clean failed-job
+    result instead of crashing the simulation.
+    """
+
+
 class SchedulingError(SurferError):
     """The job scheduler was asked to do something impossible."""
 

@@ -1,8 +1,23 @@
 """Simulated Surfer runtime: tasks, job scheduler, traces."""
 
-from repro.runtime.tasks import StageResult, Task, TaskExecution
-from repro.runtime.scheduler import HEARTBEAT_INTERVAL, StageScheduler
-from repro.runtime.trace import io_rate_timeline, machine_timeline
+from repro.runtime.tasks import (
+    RecoveryEvent,
+    StageResult,
+    Task,
+    TaskExecution,
+)
+from repro.runtime.scheduler import (
+    HEARTBEAT_INTERVAL,
+    MAX_RETRIES,
+    SPECULATION_FACTOR,
+    StageScheduler,
+)
+from repro.runtime.trace import (
+    io_rate_timeline,
+    machine_timeline,
+    recovery_event_counts,
+    recovery_timeline,
+)
 from repro.runtime.monitor import (
     JobMonitor,
     MachineUtilization,
@@ -10,13 +25,18 @@ from repro.runtime.monitor import (
 )
 
 __all__ = [
+    "RecoveryEvent",
     "StageResult",
     "Task",
     "TaskExecution",
     "HEARTBEAT_INTERVAL",
+    "MAX_RETRIES",
+    "SPECULATION_FACTOR",
     "StageScheduler",
     "io_rate_timeline",
     "machine_timeline",
+    "recovery_event_counts",
+    "recovery_timeline",
     "JobMonitor",
     "MachineUtilization",
     "estimate_progress",

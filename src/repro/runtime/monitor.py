@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.runtime.tasks import TaskExecution
+from repro.runtime.tasks import RecoveryEvent, TaskExecution
 
 __all__ = ["MachineUtilization", "JobMonitor", "estimate_progress"]
 
@@ -50,10 +50,18 @@ def estimate_progress(executions: list[TaskExecution], now: float) -> float:
 
 
 class JobMonitor:
-    """Post-hoc analysis of a job's execution trace."""
+    """Post-hoc analysis of a job's execution trace.
 
-    def __init__(self, executions: list[TaskExecution]):
+    ``recovery_events`` (optional) is the scheduler's structured stream of
+    fault-recovery actions; when given, the report includes a recovery
+    section (detections, re-dispatches, speculative launches/cancels,
+    re-replication traffic).
+    """
+
+    def __init__(self, executions: list[TaskExecution],
+                 recovery_events: list[RecoveryEvent] | None = None):
         self.executions = list(executions)
+        self.recovery_events = list(recovery_events or [])
 
     @property
     def makespan(self) -> float:
@@ -107,6 +115,18 @@ class JobMonitor:
                 rec["failed"] += 1
         return stages
 
+    def recovery_summary(self) -> dict[str, int]:
+        """Count of recovery events per kind (empty without fault plan)."""
+        counts: dict[str, int] = {}
+        for ev in self.recovery_events:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        return counts
+
+    def re_replication_bytes(self) -> int:
+        """Background replica-repair traffic recorded during the run."""
+        return sum(ev.nbytes for ev in self.recovery_events
+                   if ev.kind == "re-replicate")
+
     def report(self) -> str:
         """Human-readable utilization report (the GUI's text sibling)."""
         lines = [f"job makespan: {self.makespan:,.1f}s simulated"]
@@ -129,4 +149,15 @@ class JobMonitor:
         stragglers = self.stragglers()
         if stragglers:
             lines.append(f"stragglers (>1.5x median busy): {stragglers}")
+        summary = self.recovery_summary()
+        if summary:
+            lines.append(
+                "recovery events: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+            )
+            repair = self.re_replication_bytes()
+            if repair:
+                lines.append(
+                    f"re-replication traffic: {repair:,} bytes"
+                )
         return "\n".join(lines)

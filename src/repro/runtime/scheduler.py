@@ -2,31 +2,60 @@
 
 Surfer's job manager is deliberately simple (Appendix B): it dispatches one
 task at a time to each slave and re-executes tasks lost to machine failures.
-We reproduce that: each machine runs its queue serially; a stage is a
+We reproduce that — each machine runs its queue serially; a stage is a
 barrier (the Combine stage starts only after every Transfer finished, as
-Algorithm 5 requires); failed tasks are detected after a heartbeat delay
-and re-dispatched to a machine holding a surviving replica.
+Algorithm 5 requires) — and extend it with the recovery machinery a
+production job manager needs:
+
+* **permanent kills**: failed tasks are detected after a heartbeat delay
+  and re-dispatched to the least-loaded machine holding a surviving
+  replica, with a bounded per-task retry budget;
+* **transient faults**: the in-flight task is lost and re-dispatched like a
+  kill, but the machine rejoins at the end of its outage window and keeps
+  working through its remaining queue;
+* **stragglers**: with ``speculation`` enabled, a task whose duration
+  exceeds ``speculation_factor`` × the stage's median gets a backup copy on
+  the least-loaded replica holder; the first finisher wins and the loser is
+  cancelled (MapReduce-style speculative execution);
+* **re-replication**: after a permanent failure the partition store
+  re-creates the lost replicas on survivors and the copy traffic is charged
+  to the network as background flows, so a later failure does not hit a
+  degraded replica set.
+
+All recovery actions are recorded as structured
+:class:`~repro.runtime.tasks.RecoveryEvent` entries.
 
 Timing of one task:
 ``disk_read + cpu + sum(network sends) + disk_write`` at the machine's
 rates, with network sends charged against the topology's pair bandwidth
-(co-located sends are free).
+(co-located sends are free) and slowdown windows stretching the wall-clock
+time via :meth:`FaultPlan.advance`.
 """
 
 from __future__ import annotations
 
 from collections import deque
 
-from repro.errors import SchedulingError
+from repro.errors import DataLossError, SchedulingError
 from repro.cluster.cluster import Cluster
-from repro.cluster.faults import FaultPlan
+from repro.cluster.faults import FaultPlan, Outage
 from repro.cluster.storage import PartitionStore
-from repro.runtime.tasks import StageResult, Task, TaskExecution
+from repro.runtime.tasks import (
+    RecoveryEvent,
+    StageResult,
+    Task,
+    TaskExecution,
+)
 
-__all__ = ["StageScheduler", "HEARTBEAT_INTERVAL"]
+__all__ = ["StageScheduler", "HEARTBEAT_INTERVAL", "SPECULATION_FACTOR",
+           "MAX_RETRIES"]
 
 # Failure-detection latency of the heartbeat protocol, simulated seconds.
 HEARTBEAT_INTERVAL = 5.0
+# A task is a straggler once it exceeds this multiple of the stage median.
+SPECULATION_FACTOR = 2.0
+# Re-dispatch budget per task before the job is declared unschedulable.
+MAX_RETRIES = 5
 
 
 class StageScheduler:
@@ -39,23 +68,41 @@ class StageScheduler:
         store: PartitionStore | None = None,
         heartbeat: float = HEARTBEAT_INTERVAL,
         pipelined: bool = False,
+        speculation: bool = False,
+        speculation_factor: float = SPECULATION_FACTOR,
+        max_retries: int = MAX_RETRIES,
+        re_replication: bool = True,
     ):
         """``pipelined=True`` overlaps consecutive tasks' phases on a
         machine: while one task's output streams over the network, the
         next task's partition read proceeds on the disk (flow-shop
         pipelining over the machine's disk/CPU/NIC resources).  The
-        default is the paper's strictly serial job manager.  Pipelining
-        does not support fault plans."""
-        if pipelined and fault_plan is not None and not fault_plan.empty:
-            raise SchedulingError(
-                "pipelined execution does not support fault injection"
-            )
+        default is the paper's strictly serial job manager.  Both modes
+        support the full fault plan (kills, transients, slowdowns).
+
+        ``speculation=True`` enables MapReduce-style backup tasks for
+        stragglers; ``re_replication=False`` disables background replica
+        repair after permanent failures (the pre-v2 degrade-only
+        behaviour)."""
+        if speculation_factor <= 1.0:
+            raise SchedulingError("speculation_factor must be > 1")
+        if max_retries < 1:
+            raise SchedulingError("max_retries must be >= 1")
         self.cluster = cluster
         self.fault_plan = fault_plan or FaultPlan()
         self.store = store
         self.heartbeat = heartbeat
         self.pipelined = pipelined
+        self.speculation = speculation
+        self.speculation_factor = speculation_factor
+        self.max_retries = max_retries
+        self.re_replication = re_replication
         self.executions: list[TaskExecution] = []
+        self.recovery_events: list[RecoveryEvent] = []
+        self.re_replication_bytes = 0
+        self.data_loss: str | None = None
+        self._stage_users: dict = {}
+        self._seen_outages: set[tuple[int, float]] = set()
 
     # ------------------------------------------------------------------
     def run_stage(self, tasks: list[Task]) -> StageResult:
@@ -69,17 +116,15 @@ class StageScheduler:
             queues.setdefault(task.machine, deque()).append(task)
 
         stage_execs: list[TaskExecution] = []
-        failed: deque[Task] = deque()
+        failed: deque[tuple[Task, float]] = deque()
         failures = 0
+        events_before = len(self.recovery_events)
+        drain = (self._drain_queue_pipelined if self.pipelined
+                 else self._drain_queue)
 
         for machine_id in sorted(queues):
-            if self.pipelined:
-                self._drain_queue_pipelined(
-                    machine_id, queues[machine_id], start_time, stage_execs
-                )
-            else:
-                self._drain_queue(machine_id, queues[machine_id],
-                                  start_time, stage_execs, failed)
+            drain(machine_id, queues[machine_id], start_time,
+                  stage_execs, failed)
 
         # Re-execute tasks lost to failures on replica holders.
         guard = 0
@@ -87,12 +132,22 @@ class StageScheduler:
             guard += 1
             if guard > 10000:
                 raise SchedulingError("failure re-execution did not converge")
-            task = failed.popleft()
+            task, detect = failed.popleft()
             failures += 1
+            if task.attempt >= self.max_retries:
+                raise SchedulingError(
+                    f"task {task.name} exceeded the retry budget "
+                    f"({self.max_retries} attempts)"
+                )
             new_machine = self._reassign(task)
-            task = self._recovery_copy(task, new_machine)
-            self._drain_queue(new_machine, deque([task]), start_time,
-                              stage_execs, failed)
+            retry = self._clone_task(task, new_machine, detect, "#retry")
+            self._event(detect, "redispatch", new_machine,
+                        task=retry.name, partition=task.partition)
+            drain(new_machine, deque([retry]), start_time,
+                  stage_execs, failed)
+
+        if self.speculation:
+            self._speculate(stage_execs)
 
         end_time = max(
             (e.end for e in stage_execs), default=start_time
@@ -107,11 +162,53 @@ class StageScheduler:
             start_time=start_time,
             end_time=end_time,
             failures=failures,
+            recovery_events=self.recovery_events[events_before:],
         )
 
     def run_stages(self, stages: list[list[Task]]) -> list[StageResult]:
-        """Run consecutive barrier stages."""
-        return [self.run_stage(stage) for stage in stages]
+        """Run consecutive barrier stages.
+
+        A :class:`DataLossError` (every replica of some partition gone)
+        ends the job cleanly: the stages completed so far are returned and
+        :attr:`data_loss` carries the reason instead of the exception
+        crashing the caller.
+        """
+        results: list[StageResult] = []
+        for stage in stages:
+            try:
+                results.append(self.run_stage(stage))
+            except DataLossError:
+                break
+        return results
+
+    # ------------------------------------------------------------------
+    def _event(self, time: float, kind: str, machine: int,
+               task: str | None = None, partition: int | None = None,
+               nbytes: int = 0) -> None:
+        self.recovery_events.append(
+            RecoveryEvent(time, kind, machine, task, partition, nbytes)
+        )
+
+    def _fail_over(self, machine_id: int, tasks, at: float,
+                   failed: deque) -> None:
+        """Queue lost tasks for re-dispatch, detected one heartbeat later."""
+        detect = at + self.heartbeat
+        for t in tasks:
+            failed.append((t, detect))
+            self._event(detect, "detect", machine_id, task=t.name,
+                        partition=t.partition)
+
+    def _mark_down(self, machine_id: int, outage: Outage) -> None:
+        """Record a transient outage window (once per window)."""
+        key = (machine_id, outage.start)
+        if key in self._seen_outages:
+            return
+        self._seen_outages.add(key)
+        machine = self.cluster.machine(machine_id)
+        machine.down_seconds += outage.end - outage.start
+        machine.recoveries += 1
+        self._event(outage.start, "machine-down", machine_id)
+        self._event(outage.end, "machine-recovered", machine_id)
 
     # ------------------------------------------------------------------
     def _drain_queue(
@@ -120,34 +217,50 @@ class StageScheduler:
         queue: deque[Task],
         stage_start: float,
         stage_execs: list[TaskExecution],
-        failed: deque[Task],
+        failed: deque,
     ) -> None:
         machine = self.cluster.machine(machine_id)
-        kill_time = self.fault_plan.kill_time(machine_id)
+        plan = self.fault_plan
         while queue:
             task = queue.popleft()
             start = max(machine.clock, stage_start, task.earliest_start)
-            if kill_time is not None and start >= kill_time:
-                self._mark_dead(machine_id, kill_time)
-                failed.append(task)
-                failed.extend(queue)
-                return
+            outage = plan.next_outage(machine_id, start)
+            if outage is not None and outage.start <= start:
+                if outage.permanent:
+                    self._mark_dead(machine_id, outage.start)
+                    self._fail_over(machine_id, [task, *queue],
+                                    outage.start, failed)
+                    return
+                # transiently down at dispatch time: the queue simply
+                # waits out the outage on the machine
+                self._mark_down(machine_id, outage)
+                machine.clock = max(machine.clock, outage.end)
+                queue.appendleft(task)
+                continue
             duration = self._task_duration(task, machine_id)
-            end = start + duration
-            if kill_time is not None and end > kill_time:
-                # Task dies mid-flight; time up to the kill is wasted.
-                machine.busy_time += kill_time - start
-                machine.clock = kill_time
+            end = plan.advance(machine_id, start, duration)
+            if outage is not None and end > outage.start:
+                # Task dies mid-flight; time up to the outage is wasted.
+                machine.busy_time += outage.start - start
+                machine.clock = outage.start
                 stage_execs.append(
-                    TaskExecution(task, machine_id, start, kill_time, False)
+                    TaskExecution(task, machine_id, start,
+                                  outage.start, False)
                 )
-                self._mark_dead(machine_id, kill_time)
-                failed.append(task)
-                failed.extend(queue)
-                return
-            self._charge(task, machine_id, duration)
+                if outage.permanent:
+                    self._mark_dead(machine_id, outage.start)
+                    self._fail_over(machine_id, [task, *queue],
+                                    outage.start, failed)
+                    return
+                # transient: the in-flight task fails over, the machine
+                # rejoins at the end of the window with its queue
+                self._mark_down(machine_id, outage)
+                self._fail_over(machine_id, [task], outage.start, failed)
+                machine.clock = max(machine.clock, outage.end)
+                continue
+            self._charge(task, machine_id)
             machine.clock = end
-            machine.busy_time += duration
+            machine.busy_time += end - start
             machine.tasks_executed += 1
             stage_execs.append(
                 TaskExecution(task, machine_id, start, end, True)
@@ -159,6 +272,7 @@ class StageScheduler:
         queue: deque[Task],
         stage_start: float,
         stage_execs: list[TaskExecution],
+        failed: deque,
     ) -> None:
         """Flow-shop execution: disk, CPU and NIC are independent lanes.
 
@@ -166,18 +280,39 @@ class StageScheduler:
         write); a phase starts when both the previous phase of the same
         task and the lane's previous occupant have finished.  Total work
         (busy time, byte counters) is identical to serial execution —
-        only the elapsed time shrinks.
+        only the elapsed time shrinks.  Faults use the task's full
+        pipeline window [arrival, write_end): an outage inside it loses
+        the in-flight task, and after a transient recovery the lanes
+        restart cold at the end of the window.
         """
         machine = self.cluster.machine(machine_id)
         spec = machine.spec
         net = self.cluster.network
-        users = getattr(self, "_stage_users", None)
+        plan = self.fault_plan
+        users = self._stage_users
         base = max(machine.clock, stage_start)
         # four lanes: read disk, CPU, NIC, write disk (the testbed
         # machines carry two disks — Appendix F)
         read_free = cpu_free = net_free = write_free = base
-        for task in queue:
+        while queue:
+            task = queue.popleft()
             arrival = max(base, task.earliest_start)
+            outage = plan.next_outage(machine_id, arrival)
+            if outage is not None and outage.start <= arrival:
+                if outage.permanent:
+                    self._mark_dead(machine_id, outage.start)
+                    self._fail_over(machine_id, [task, *queue],
+                                    outage.start, failed)
+                    return
+                self._mark_down(machine_id, outage)
+                base = max(base, outage.end)
+                read_free = max(read_free, base)
+                cpu_free = max(cpu_free, base)
+                net_free = max(net_free, base)
+                write_free = max(write_free, base)
+                machine.clock = max(machine.clock, base)
+                queue.appendleft(task)
+                continue
             read_time = (spec.disk_read_time(task.disk_read_bytes)
                          * task.disk_penalty)
             cpu_time = spec.cpu_time(task.cpu_ops)
@@ -190,14 +325,39 @@ class StageScheduler:
             )
             write_time = (spec.disk_write_time(task.disk_write_bytes)
                           * task.disk_penalty)
-            read_end = max(arrival, read_free) + read_time
-            cpu_end = max(read_end, cpu_free) + cpu_time
-            net_end = max(cpu_end, net_free) + net_time
-            write_end = max(net_end, write_free) + write_time
+            read_start = max(arrival, read_free)
+            read_end = plan.advance(machine_id, read_start, read_time)
+            cpu_start = max(read_end, cpu_free)
+            cpu_end = plan.advance(machine_id, cpu_start, cpu_time)
+            net_start = max(cpu_end, net_free)
+            net_end = plan.advance(machine_id, net_start, net_time)
+            write_start = max(net_end, write_free)
+            write_end = plan.advance(machine_id, write_start, write_time)
+            if outage is not None and write_end > outage.start:
+                # the pipeline stalls at the outage; the in-flight task
+                # is lost along with its partial overlapped progress
+                machine.busy_time += max(0.0, outage.start - arrival)
+                machine.clock = max(machine.clock, outage.start)
+                stage_execs.append(
+                    TaskExecution(task, machine_id, arrival,
+                                  outage.start, False)
+                )
+                if outage.permanent:
+                    self._mark_dead(machine_id, outage.start)
+                    self._fail_over(machine_id, [task, *queue],
+                                    outage.start, failed)
+                    return
+                self._mark_down(machine_id, outage)
+                self._fail_over(machine_id, [task], outage.start, failed)
+                base = max(base, outage.end)
+                read_free = cpu_free = net_free = write_free = base
+                machine.clock = max(machine.clock, base)
+                continue
+            duration = ((read_end - read_start) + (cpu_end - cpu_start)
+                        + (net_end - net_start) + (write_end - write_start))
             read_free, cpu_free = read_end, cpu_end
             net_free, write_free = net_end, write_end
-            duration = read_time + cpu_time + net_time + write_time
-            self._charge(task, machine_id, duration)
+            self._charge(task, machine_id)
             machine.clock = max(machine.clock, write_end)
             machine.busy_time += duration
             machine.tasks_executed += 1
@@ -205,6 +365,7 @@ class StageScheduler:
                 TaskExecution(task, machine_id, arrival, write_end, True)
             )
 
+    # ------------------------------------------------------------------
     def _collect_resource_users(self, tasks: list[Task]) -> dict:
         """Who uses each shared network resource during this stage.
 
@@ -233,7 +394,7 @@ class StageScheduler:
     def _task_duration(self, task: Task, machine_id: int) -> float:
         spec = self.cluster.machine(machine_id).spec
         net = self.cluster.network
-        users = getattr(self, "_stage_users", None)
+        users = self._stage_users
         duration = (
             spec.disk_read_time(task.disk_read_bytes) * task.disk_penalty
             + spec.cpu_time(task.cpu_ops)
@@ -247,7 +408,7 @@ class StageScheduler:
                                    outbound=False, users=users)
         return duration
 
-    def _charge(self, task: Task, machine_id: int, duration: float) -> None:
+    def _charge(self, task: Task, machine_id: int) -> None:
         """Record resource counters for a successful execution."""
         machine = self.cluster.machine(machine_id)
         machine.disk_read_bytes += int(task.disk_read_bytes)
@@ -264,44 +425,81 @@ class StageScheduler:
                 self.cluster.machine(src).bytes_sent += int(nbytes)
                 machine.bytes_received += int(nbytes)
 
+    # ------------------------------------------------------------------
     def _mark_dead(self, machine_id: int, kill_time: float) -> None:
         machine = self.cluster.machine(machine_id)
-        if machine.alive:
-            machine.fail(kill_time)
-            if self.store is not None:
-                self.store.handle_failure(machine_id)
+        if not machine.alive:
+            return
+        machine.fail(kill_time)
+        self._event(kill_time, "machine-down", machine_id)
+        if self.store is None:
+            return
+        try:
+            self.store.handle_failure(machine_id)
+        except DataLossError as exc:
+            self.data_loss = str(exc)
+            self._event(kill_time, "data-loss", machine_id)
+            raise
+        if self.re_replication:
+            self._re_replicate(kill_time + self.heartbeat)
 
+    def _re_replicate(self, now: float) -> None:
+        """Re-create lost replicas in the background; charge the copies."""
+        cluster = self.cluster
+        for p, src, dst in self.store.re_replicate(
+            cluster.alive_machines()
+        ):
+            nbytes = self.store.partition_nbytes(p)
+            if nbytes > 0:
+                cluster.network.transfer(src, dst, nbytes, background=True)
+                src_m = cluster.machine(src)
+                dst_m = cluster.machine(dst)
+                src_m.disk_read_bytes += nbytes
+                src_m.bytes_sent += nbytes
+                dst_m.disk_write_bytes += nbytes
+                dst_m.bytes_received += nbytes
+            self.re_replication_bytes += nbytes
+            self._event(now, "re-replicate", dst, partition=p,
+                        nbytes=nbytes)
+
+    # ------------------------------------------------------------------
     def _reassign(self, task: Task) -> int:
-        """Pick the machine to re-execute a failed task on."""
-        now_dead = {m.machine_id for m in self.cluster.machines
-                    if not m.alive}
+        """Pick the machine to re-execute a failed task on.
+
+        Prefers the least-loaded alive holder of the task's partition
+        (after failover the store only lists survivors), falling back to
+        the least-loaded alive machine — the greedy job manager's rule.
+        """
+        dead = {m.machine_id for m in self.cluster.machines
+                if not m.alive}
         if self.store is not None and task.partition is not None:
-            candidate = self.store.primary(task.partition)
-            if candidate not in now_dead:
-                return candidate
+            # replica order (primary first) breaks clock ties, so the
+            # promoted survivor beats a freshly re-replicated copy
+            holders = [m for m in self.store.replicas(task.partition)
+                       if m not in dead]
+            if holders:
+                return min(holders,
+                           key=lambda m: self.cluster.machine(m).clock)
         alive = self.cluster.alive_machines()
         if not alive:
             raise SchedulingError("no machines left alive to re-execute on")
-        # Least-loaded alive machine, mirroring the greedy job manager.
         return min(alive, key=lambda m: self.cluster.machine(m).clock)
 
-    def _recovery_copy(self, task: Task, new_machine: int) -> Task:
-        """Clone a failed task for re-execution.
+    def _clone_task(self, task: Task, new_machine: int,
+                    earliest: float, suffix: str) -> Task:
+        """Clone a task for re-execution or speculative backup.
 
         Combine-type tasks must re-fetch their remote inputs before
         re-running (Appendix B): the input transfers become explicit sends
         charged against the network (modeled as reads from the sources).
-        Detection waits one heartbeat after the failure.
         """
-        failed_machine = self.cluster.machine(task.machine)
-        detect = (failed_machine.failed_at or 0.0) + self.heartbeat
         refetch = [
             (src, nbytes)
             for src, nbytes in task.input_transfers
             if src != new_machine and self.cluster.machine(src).alive
         ]
         return Task(
-            name=task.name + "#retry",
+            name=task.name + suffix,
             machine=new_machine,
             kind=task.kind,
             partition=task.partition,
@@ -311,5 +509,111 @@ class StageScheduler:
             sends=list(task.sends) + refetch,
             receives=list(task.receives),
             input_transfers=list(task.input_transfers),
-            earliest_start=detect,
+            earliest_start=earliest,
+            disk_penalty=task.disk_penalty,
+            attempt=task.attempt + 1,
         )
+
+    # ------------------------------------------------------------------
+    def _speculate(self, stage_execs: list[TaskExecution]) -> None:
+        """Launch backup copies for stragglers; first finisher wins.
+
+        A machine's *final* task of the stage is a speculation candidate
+        when its duration exceeds ``speculation_factor`` × the stage's
+        median task duration: that is the task pinning the stage barrier,
+        so rescuing it shortens the makespan.  The backup launches on the
+        least-loaded alive replica holder at the moment the straggler is
+        detected; whichever copy finishes first wins and the other is
+        cancelled there and then.
+        """
+        succ = [e for e in stage_execs if e.succeeded]
+        if len(succ) < 3:
+            return
+        durations = sorted(e.duration for e in succ)
+        median = durations[len(durations) // 2]
+        if median <= 0:
+            return
+        threshold = self.speculation_factor * median
+        last: dict[int, TaskExecution] = {}
+        for e in succ:
+            cur = last.get(e.machine)
+            if cur is None or e.end > cur.end:
+                last[e.machine] = e
+        candidates = [
+            e for e in last.values()
+            if e.duration > threshold
+            and abs(e.end - self.cluster.machine(e.machine).clock) < 1e-9
+        ]
+        candidates.sort(key=lambda e: (e.start + threshold, e.machine))
+        for e in candidates:
+            self._speculate_one(e, stage_execs, threshold)
+
+    def _speculate_one(self, e: TaskExecution,
+                       stage_execs: list[TaskExecution],
+                       threshold: float) -> None:
+        task = e.task
+        detect = e.start + threshold
+        backup_machine = self._backup_machine(task, e.machine, detect)
+        if backup_machine is None:
+            return
+        holder = self.cluster.machine(backup_machine)
+        if holder.clock >= e.end:
+            return  # no capacity frees up before the original finishes
+        backup = self._clone_task(task, backup_machine, detect, "#spec")
+        b_start = max(detect, holder.clock)
+        duration = self._task_duration(backup, backup_machine)
+        b_end = self.fault_plan.advance(backup_machine, b_start, duration)
+        self._event(detect, "spec-launch", backup_machine,
+                    task=backup.name, partition=task.partition)
+        if b_end < e.end:
+            # Backup wins; the original attempt is cancelled at b_end.
+            self._charge(backup, backup_machine)
+            holder.clock = max(holder.clock, b_end)
+            holder.busy_time += b_end - b_start
+            holder.tasks_executed += 1
+            stage_execs.append(
+                TaskExecution(backup, backup_machine, b_start, b_end, True)
+            )
+            original = self.cluster.machine(e.machine)
+            original.busy_time -= e.end - b_end
+            original.clock = b_end
+            idx = next(i for i, x in enumerate(stage_execs) if x is e)
+            stage_execs[idx] = TaskExecution(task, e.machine, e.start,
+                                             b_end, False)
+            self._event(b_end, "spec-win", backup_machine,
+                        task=backup.name, partition=task.partition)
+            self._event(b_end, "spec-cancel", e.machine, task=task.name,
+                        partition=task.partition)
+        else:
+            # Original wins; the backup is cancelled when it finishes.
+            # The wasted backup time occupies the holder but moves no
+            # bytes (the copy never commits its output).
+            holder.clock = max(holder.clock, e.end)
+            holder.busy_time += e.end - b_start
+            stage_execs.append(
+                TaskExecution(backup, backup_machine, b_start, e.end,
+                              False)
+            )
+            self._event(e.end, "spec-cancel", backup_machine,
+                        task=backup.name, partition=task.partition)
+
+    def _backup_machine(self, task: Task, exclude: int,
+                        now: float) -> int | None:
+        """Least-loaded alive replica holder to run a backup copy on."""
+        plan = self.fault_plan
+        candidates: list[int] = []
+        if self.store is not None and task.partition is not None:
+            candidates = [
+                m for m in self.store.replicas(task.partition)
+                if m != exclude and self.cluster.machine(m).alive
+                and not plan.is_down(m, now)
+            ]
+        if not candidates:
+            candidates = [
+                m for m in self.cluster.alive_machines()
+                if m != exclude and not plan.is_down(m, now)
+            ]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda m: self.cluster.machine(m).clock)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Task", "TaskExecution", "StageResult"]
+__all__ = ["Task", "TaskExecution", "StageResult", "RecoveryEvent"]
 
 
 @dataclass
@@ -47,6 +47,9 @@ class Task:
     #: disk-rate divisor: > 1 when the working set does not fit in memory
     #: and I/O degrades from sequential to random (principle P2)
     disk_penalty: float = 1.0
+    #: how many times this task has already been re-dispatched after a
+    #: failure or launched speculatively; bounds the retry loop
+    attempt: int = 0
 
     def total_send_bytes(self) -> float:
         return float(sum(b for _, b in self.sends))
@@ -67,6 +70,25 @@ class TaskExecution:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One structured fault-recovery action taken by the job manager.
+
+    ``kind`` is one of ``machine-down``, ``machine-recovered``,
+    ``detect`` (heartbeat loss noticed), ``redispatch`` (lost task
+    re-queued on a replica holder), ``spec-launch`` / ``spec-win`` /
+    ``spec-cancel`` (speculative backup lifecycle), ``re-replicate``
+    (background replica copy, ``nbytes`` of traffic) and ``data-loss``.
+    """
+
+    time: float
+    kind: str
+    machine: int
+    task: str | None = None
+    partition: int | None = None
+    nbytes: int = 0
+
+
 @dataclass
 class StageResult:
     """Outcome of one synchronized stage."""
@@ -75,6 +97,7 @@ class StageResult:
     start_time: float
     end_time: float
     failures: int = 0
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
 
     @property
     def elapsed(self) -> float:

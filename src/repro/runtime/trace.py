@@ -1,18 +1,22 @@
-"""Execution-trace analysis: I/O-rate timelines (Figure 10).
+"""Execution-trace analysis: I/O-rate and recovery timelines (Figure 10).
 
 The fault-tolerance experiment plots the *disk I/O rate over time* of
 normal and recovering executions.  We derive the timeline from the
 scheduler's task executions by spreading each task's disk bytes uniformly
-over its execution window and sampling on a fixed-width grid.
+over its execution window and sampling on a fixed-width grid.  The
+structured :class:`~repro.runtime.tasks.RecoveryEvent` stream the
+scheduler emits gets the same treatment: per-bucket event counts and
+re-replication byte totals.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.runtime.tasks import TaskExecution
+from repro.runtime.tasks import RecoveryEvent, TaskExecution
 
-__all__ = ["io_rate_timeline", "machine_timeline"]
+__all__ = ["io_rate_timeline", "machine_timeline", "recovery_timeline",
+           "recovery_event_counts"]
 
 
 def io_rate_timeline(
@@ -63,6 +67,43 @@ def _planned_duration(execution: TaskExecution) -> float:
     # Failed executions ran only part of the plan; we cannot recover the
     # plan exactly without the machine spec, so approximate with duration.
     return execution.duration
+
+
+def recovery_event_counts(
+    events: list[RecoveryEvent],
+) -> dict[str, int]:
+    """How many recovery events of each kind a run produced."""
+    counts: dict[str, int] = {}
+    for ev in events:
+        counts[ev.kind] = counts.get(ev.kind, 0) + 1
+    return counts
+
+
+def recovery_timeline(
+    events: list[RecoveryEvent],
+    bucket_seconds: float = 10.0,
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Recovery events per time bucket, split by kind.
+
+    Returns ``(bucket_start_times, {kind: counts})`` on the same grid as
+    :func:`io_rate_timeline` so the two can be plotted together — the
+    paper's Figure 10 dip annotated with what the job manager did about
+    it.
+    """
+    if bucket_seconds <= 0:
+        raise ValueError("bucket_seconds must be positive")
+    finite = [ev for ev in events if np.isfinite(ev.time)]
+    if not finite:
+        return np.zeros(0), {}
+    horizon = max(ev.time for ev in finite)
+    num_buckets = int(np.ceil(horizon / bucket_seconds)) or 1
+    series: dict[str, np.ndarray] = {}
+    for ev in finite:
+        counts = series.setdefault(ev.kind, np.zeros(num_buckets))
+        bucket = min(int(ev.time / bucket_seconds), num_buckets - 1)
+        counts[bucket] += 1
+    times = np.arange(num_buckets) * bucket_seconds
+    return times, series
 
 
 def machine_timeline(

@@ -9,7 +9,6 @@ from repro.cluster.faults import FaultPlan
 from repro.cluster.spec import MachineSpec
 from repro.cluster.topology import t1
 from repro.core.surfer import Surfer
-from repro.errors import SchedulingError
 from repro.runtime.scheduler import StageScheduler
 from repro.runtime.tasks import Task
 from tests.conftest import make_test_cluster
@@ -81,11 +80,25 @@ class TestPipelinedScheduler:
         b = StageScheduler(cluster, pipelined=True).run_stage(mk()).elapsed
         assert b <= a + 1e-9
 
-    def test_rejects_fault_plan(self):
-        cluster = flat_cluster()
+    def test_accepts_fault_plan(self):
+        """Pipelined mode recovers from a kill like the serial manager."""
+        from repro.cluster.storage import PartitionStore
+
+        cluster = Cluster(t1(3, link_bps=100.0),
+                          machine_spec=flat_cluster().machine_spec)
+        store = PartitionStore([0], num_machines=3, replication=2, seed=0)
         plan = FaultPlan().add_kill(0, 1.0)
-        with pytest.raises(SchedulingError):
-            StageScheduler(cluster, plan, pipelined=True)
+        sched = StageScheduler(cluster, plan, store, heartbeat=0.5,
+                               pipelined=True)
+        result = sched.run_stage([
+            Task("t", machine=0, partition=0, cpu_ops=300)
+        ])
+        assert result.failures == 1
+        assert not cluster.machine(0).alive
+        winner = [e for e in result.executions if e.succeeded]
+        assert len(winner) == 1
+        assert winner[0].machine in store.replicas(0)
+        assert winner[0].start >= 1.0 + 0.5  # heartbeat-delayed detection
 
 
 class TestPipelinedEngines:
