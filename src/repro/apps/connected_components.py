@@ -55,12 +55,16 @@ class ConnectedComponentsPropagation(PropagationApp):
     name = "CC"
     is_associative = True
     combine_all_vertices = True
+    merge_ufunc = np.minimum
 
     def setup(self, pgraph) -> VertexState:
         return _cc_state(pgraph)
 
     def transfer(self, u, v, state):
         return int(state.values[u])
+
+    def transfer_array(self, src, dst, state):
+        return state.values[src]
 
     def combine(self, v, values, state):
         return int(min([state.values[v], *values]))

@@ -38,18 +38,28 @@ class NetworkRankingPropagation(PropagationApp):
     name = "NR"
     is_associative = True
     combine_all_vertices = True
+    merge_ufunc = np.add
 
     def __init__(self, damping: float = 0.85):
         self.damping = damping
 
     def setup(self, pgraph) -> VertexState:
-        return _rank_state(pgraph)
+        state = _rank_state(pgraph)
+        # teleport term is iteration-invariant; combine() runs per vertex
+        state.extra["teleport"] = (
+            (1.0 - self.damping) / pgraph.num_vertices
+            if pgraph.num_vertices else 0.0
+        )
+        return state
 
     def transfer(self, u, v, state):
         return self.damping * state.values[u] / state.extra["out_deg"][u]
 
+    def transfer_array(self, src, dst, state):
+        return self.damping * state.values[src] / state.extra["out_deg"][src]
+
     def combine(self, v, values, state):
-        return (1.0 - self.damping) / state.num_vertices + sum(values)
+        return state.extra["teleport"] + sum(values)
 
     def merge(self, a, b):
         return a + b

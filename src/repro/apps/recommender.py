@@ -9,6 +9,8 @@ adoption set.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.apps.base import VertexState, sample_mask
 from repro.mapreduce.api import MapReduceApp
 from repro.propagation.api import PropagationApp
@@ -36,6 +38,7 @@ class RecommenderPropagation(PropagationApp):
 
     name = "RS"
     is_associative = True
+    merge_ufunc = np.logical_or
 
     def __init__(self, probability: float = 0.3, initial_ratio: float = 0.05,
                  seed: int = 7):
@@ -49,8 +52,14 @@ class RecommenderPropagation(PropagationApp):
     def select(self, u, state):
         return bool(state.values[u])
 
+    def select_array(self, vertices, state):
+        return state.values[vertices]
+
     def transfer(self, u, v, state):
         return True
+
+    def transfer_array(self, src, dst, state):
+        return np.ones(src.size, dtype=bool)
 
     def combine(self, v, values, state):
         if state.values[v]:

@@ -105,6 +105,7 @@ class PartitionedGraph:
         self._edge_src = src
         self._edge_dst = dst
         self._edges_by_partition: list[np.ndarray] | None = None
+        self._scan_edge_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -154,6 +155,30 @@ class PartitionedGraph:
                 for q in range(self.num_parts)
             ]
         return self._edges_by_partition[p]
+
+    def partition_out_edges(
+        self, p: int, vertices: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Out-edges of (a subset of) partition ``p``'s vertices in scan
+        order, as aligned ``(src, dst)`` arrays.
+
+        ``vertices`` defaults to every vertex of the partition; the
+        vectorized Transfer passes the ``select``-ed subset.  Unlike
+        :meth:`partition_edges` this preserves the per-vertex scan order
+        and honors the subset, which is what message-order-exact bulk
+        routing needs.
+
+        The full-partition gather is iteration-invariant (graph structure
+        only), so it is computed once and cached; callers must treat the
+        returned arrays as read-only.
+        """
+        if vertices is None:
+            cached = self._scan_edge_cache.get(p)
+            if cached is None:
+                cached = self.graph.out_edges_of(self.partition_vertices[p])
+                self._scan_edge_cache[p] = cached
+            return cached
+        return self.graph.out_edges_of(vertices)
 
     def partition_bytes(self, p: int) -> int:
         """Adjacency-list bytes of partition ``p`` (its disk footprint)."""

@@ -181,6 +181,7 @@ class Surfer:
         until_convergence: bool = False,
         pipelined: bool = False,
         speculation: bool = False,
+        vectorized: bool | None = None,
     ) -> JobResult:
         """Run ``iterations`` of propagation; returns the app's result.
 
@@ -191,7 +192,10 @@ class Surfer:
         hook returns True (apps without the hook run all iterations).
         ``pipelined=True`` overlaps disk/CPU/network phases across a
         machine's consecutive tasks, ``speculation=True`` launches backup
-        copies of straggler tasks (see StageScheduler).
+        copies of straggler tasks (see StageScheduler).  ``vectorized``
+        picks the Transfer implementation (None = auto fast path,
+        False = scalar oracle, True = require the fast path); both paths
+        produce bit-identical results and cost numbers.
         """
         if iterations < 1:
             raise JobError("iterations must be >= 1")
@@ -214,7 +218,7 @@ class Surfer:
         engine = PropagationEngine(
             self.pgraph, self.store, self.cluster,
             local_opts=local_opts, values_io_fraction=fractions,
-            assignment=self.assignment,
+            assignment=self.assignment, vectorized=vectorized,
         )
 
         reports: list[IterationReport] = []

@@ -184,6 +184,31 @@ class Graph:
             np.arange(self.num_vertices, dtype=np.int64), self.out_degrees()
         )
 
+    def out_edges_of(
+        self, vertices: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All out-edges of ``vertices`` as aligned ``(src, dst)`` arrays.
+
+        Edges appear in scan order — ``vertices`` order, CSR order within
+        each vertex — exactly the order a nested ``for u: for v in
+        out_neighbors(u)`` loop visits them.  This is the bulk gather the
+        vectorized Transfer fast path runs instead of that loop.
+        """
+        verts = np.asarray(vertices, dtype=np.int64)
+        starts = self.out_indptr[verts]
+        counts = self.out_indptr[verts + 1] - starts
+        m = int(counts.sum())
+        if m == 0:
+            return (np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64))
+        src = np.repeat(verts, counts)
+        block_starts = np.concatenate(
+            ([0], np.cumsum(counts)[:-1])
+        )
+        idx = (np.arange(m, dtype=np.int64)
+               + np.repeat(starts - block_starts, counts))
+        return src, self.out_indices[idx]
+
     def edges(self) -> np.ndarray:
         """All edges as an ``(m, 2)`` array in CSR order."""
         return np.stack([self.edge_sources(), self.out_indices], axis=1)

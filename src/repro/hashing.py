@@ -1,0 +1,36 @@
+"""Process-stable key hashing for message and shuffle routing.
+
+Python's built-in ``hash`` is salted per process for ``str`` (and
+anything containing one), so two workers — or the same worker restarted
+with a different ``PYTHONHASHSEED`` — would route the same virtual-vertex
+key or shuffle key to *different* destinations.  Routing must be a pure
+function of the key: re-executed tasks (fault tolerance) and independent
+processes have to agree on where a key lives.
+
+``stable_hash`` keeps the Knuth multiplicative hash for integer keys
+(cheap, well-spread, and what the seed engines always used) and routes
+every other key through ``zlib.crc32`` of a deterministic byte encoding:
+UTF-8 for strings, raw bytes as-is, ``repr`` (which is deterministic for
+ints, floats, tuples and frozensets of those) for everything else.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+__all__ = ["stable_hash"]
+
+
+def stable_hash(key) -> int:
+    """A 32-bit hash of ``key`` that is identical across processes."""
+    if isinstance(key, (int, np.integer)):
+        return (int(key) * 2654435761) & 0xFFFFFFFF
+    if isinstance(key, str):
+        data = key.encode("utf-8")
+    elif isinstance(key, (bytes, bytearray)):
+        data = bytes(key)
+    else:
+        data = repr(key).encode("utf-8")
+    return zlib.crc32(data) & 0xFFFFFFFF

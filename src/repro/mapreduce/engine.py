@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.storage import PartitionStore
+from repro.hashing import stable_hash
 from repro.mapreduce.api import MapReduceApp, kv_nbytes
 from repro.runtime.scheduler import StageScheduler
 from repro.runtime.tasks import StageResult, Task
@@ -34,12 +35,13 @@ __all__ = ["MapReduceEngine", "RoundReport", "reducer_of"]
 
 
 def reducer_of(key, num_reducers: int) -> int:
-    """Hash partitioner of the shuffle (Knuth hash for int keys)."""
-    if isinstance(key, (int, np.integer)):
-        hashed = (int(key) * 2654435761) & 0xFFFFFFFF
-    else:
-        hashed = hash(key) & 0xFFFFFFFF
-    return hashed % num_reducers
+    """Hash partitioner of the shuffle (Knuth hash for int keys).
+
+    Built on :func:`repro.hashing.stable_hash` so every mapper — in any
+    process, under any ``PYTHONHASHSEED`` — sends a key to the same
+    reducer.
+    """
+    return stable_hash(key) % num_reducers
 
 
 @dataclass

@@ -27,10 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
+import numpy as np
+
 from repro.errors import JobError
 from repro.graph.io import VALUE_BYTES, VERTEX_ID_BYTES
 
-__all__ = ["PropagationApp", "MessageBox", "message_nbytes"]
+__all__ = ["PropagationApp", "MessageBox", "fold_by_dest",
+           "message_nbytes"]
 
 
 class PropagationApp:
@@ -47,6 +50,9 @@ class PropagationApp:
     combine_all_vertices = False
     #: app emits to virtual vertices instead of along edges.
     uses_virtual_vertices = False
+    #: NumPy ufunc equivalent of ``merge`` (e.g. ``np.add``) — required
+    #: for the vectorized Transfer fast path of associative apps.
+    merge_ufunc = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -92,6 +98,28 @@ class PropagationApp:
         """Associative pairwise merge (required if ``is_associative``)."""
         raise JobError(f"{self.name}: merge() not implemented")
 
+    # -- vectorized (array-at-a-time) variants --------------------------
+    def select_array(self, vertices: np.ndarray, state: Any):
+        """Vectorized ``select``: boolean mask over ``vertices``.
+
+        ``None`` (the default) means *all selected*, matching the default
+        scalar ``select``.  Apps that override ``select`` must also
+        override this to be eligible for the fast path.
+        """
+        return None
+
+    def transfer_array(self, src: np.ndarray, dst: np.ndarray, state: Any):
+        """Vectorized ``transfer``: one value per edge ``(src[i], dst[i])``.
+
+        Opt-in hook of the Transfer fast path.  Must return an array
+        aligned with ``src``/``dst`` whose element ``i`` is bit-identical
+        to ``transfer(src[i], dst[i], state)`` — or ``None`` to decline,
+        in which case the engine falls back to the scalar path.  Edges
+        whose scalar ``transfer`` would return ``None`` cannot be
+        expressed here; such apps must stay on the scalar path.
+        """
+        return None
+
     # -- virtual-vertex variants ----------------------------------------
     def virtual_transfer(self, u: int, state: Any) -> Iterable[tuple]:
         """Yield ``(virtual_key, value)`` pairs from vertex ``u``."""
@@ -118,6 +146,42 @@ def message_nbytes(app: PropagationApp, value) -> float:
     return VERTEX_ID_BYTES + app.value_nbytes(value)
 
 
+def fold_by_dest(
+    dests: np.ndarray, values: np.ndarray, ufunc
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Left-fold ``values`` per destination, in input (emission) order.
+
+    Returns ``(uniq_dests, merged, counts)`` with ``uniq_dests`` sorted
+    ascending.  The fold visits each destination's values in their input
+    order — ``np.bincount`` and ``ufunc.at`` both accumulate
+    sequentially — so even a non-exact merge such as float addition
+    reproduces the scalar ``merge(merge(v1, v2), v3)`` chain bit for bit.
+    ``dests`` must be non-empty.
+    """
+    m = int(dests.size)
+    order = np.argsort(dests, kind="stable")
+    d = dests[order]
+    new_group = np.empty(m, dtype=bool)
+    new_group[0] = True
+    np.not_equal(d[1:], d[:-1], out=new_group[1:])
+    uniq = d[new_group]
+    gid = np.cumsum(new_group) - 1
+    inv = np.empty(m, dtype=np.int64)
+    inv[order] = gid
+    counts = np.bincount(inv, minlength=uniq.size)
+    if ufunc is np.add and values.dtype == np.float64:
+        merged = np.bincount(inv, weights=values, minlength=uniq.size)
+    else:
+        # stable sort: the group head is the earliest original index
+        first_idx = order[np.flatnonzero(new_group)]
+        merged = values[first_idx].copy()
+        rest = np.ones(m, dtype=bool)
+        rest[first_idx] = False
+        if rest.any():
+            ufunc.at(merged, inv[rest], values[rest])
+    return uniq, merged, counts
+
+
 @dataclass
 class MessageBox:
     """Accumulates messages per destination, merging when allowed.
@@ -130,6 +194,9 @@ class MessageBox:
     merge: Any = None
     data: dict = field(default_factory=dict)
     counts: dict = field(default_factory=dict)
+    #: cached ``payload_bytes`` result; boxes live within one iteration
+    #: and are always sized against that iteration's single app.
+    _payload: float | None = field(default=None, repr=False, compare=False)
 
     def add(self, dest, value) -> None:
         if self.merge is None:
@@ -139,6 +206,51 @@ class MessageBox:
         else:
             self.data[dest] = value
         self.counts[dest] = self.counts.get(dest, 0) + 1
+        self._payload = None
+
+    @classmethod
+    def from_arrays(cls, dests: np.ndarray, values: np.ndarray,
+                    merge=None, ufunc=None) -> "MessageBox":
+        """Build a box from aligned destination/value arrays.
+
+        The arrays are taken in *emission order* (the order the scalar
+        path would have called :meth:`add`), and the result is
+        bit-identical to that sequence of ``add`` calls:
+
+        * without ``merge``, bags keep emission order per destination
+          (stable sort by destination);
+        * with ``merge``, each destination's values are left-folded in
+          emission order via ``ufunc`` — ``np.bincount`` for float
+          ``np.add`` and ``ufunc.at`` otherwise both accumulate
+          sequentially in input order, so even non-exact merges such as
+          float addition reproduce the scalar fold bit for bit.
+        """
+        box = cls(merge=merge)
+        dests = np.asarray(dests)
+        values = np.asarray(values)
+        m = int(dests.size)
+        if m == 0:
+            return box
+        if merge is None:
+            order = np.argsort(dests, kind="stable")
+            d = dests[order]
+            v = values[order]
+            cuts = np.flatnonzero(d[1:] != d[:-1]) + 1
+            starts = np.concatenate(([0], cuts)).tolist()
+            ends = np.concatenate((cuts, [m])).tolist()
+            dlist = d.tolist()
+            vlist = v.tolist()
+            for s, e in zip(starts, ends):
+                box.data[dlist[s]] = vlist[s:e]
+                box.counts[dlist[s]] = e - s
+            return box
+        if ufunc is None:
+            raise JobError("MessageBox.from_arrays: merging needs a ufunc")
+        uniq, merged, counts = fold_by_dest(dests, values, ufunc)
+        keys = uniq.tolist()
+        box.data = dict(zip(keys, merged.tolist()))
+        box.counts = dict(zip(keys, counts.tolist()))
+        return box
 
     def values_of(self, dest) -> list:
         """The bag of values for ``dest`` (singleton when merged)."""
@@ -149,14 +261,29 @@ class MessageBox:
         return [self.data[dest]]
 
     def payload_bytes(self, app: PropagationApp) -> float:
-        """Total wire bytes of the box's current contents."""
-        total = 0.0
-        for dest, stored in self.data.items():
-            if self.merge is None:
-                total += sum(message_nbytes(app, v) for v in stored)
+        """Total wire bytes of the box's current contents (cached).
+
+        Apps that keep the default (constant) ``value_nbytes`` take a
+        closed-form count; byte sizes are integer-valued floats, so the
+        product equals the per-message summation bit for bit.
+        """
+        if self._payload is None:
+            if type(app).value_nbytes is PropagationApp.value_nbytes:
+                wire_messages = (len(self.data) if self.merge is not None
+                                 else sum(len(bag)
+                                          for bag in self.data.values()))
+                self._payload = float(
+                    wire_messages * (VERTEX_ID_BYTES + VALUE_BYTES)
+                )
             else:
-                total += message_nbytes(app, stored)
-        return total
+                total = 0.0
+                for dest, stored in self.data.items():
+                    if self.merge is None:
+                        total += sum(message_nbytes(app, v) for v in stored)
+                    else:
+                        total += message_nbytes(app, stored)
+                self._payload = total
+        return self._payload
 
     def message_count(self) -> int:
         return sum(self.counts.values())

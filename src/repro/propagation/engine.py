@@ -34,8 +34,10 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.storage import PartitionStore
+from repro.errors import JobError
 from repro.graph.io import VALUE_BYTES
-from repro.propagation.api import MessageBox, PropagationApp
+from repro.hashing import stable_hash
+from repro.propagation.api import MessageBox, PropagationApp, fold_by_dest
 from repro.runtime.scheduler import StageScheduler
 from repro.runtime.tasks import StageResult, Task
 
@@ -46,12 +48,13 @@ __all__ = ["IterationReport", "PropagationEngine", "virtual_partition"]
 
 
 def virtual_partition(key, num_parts: int) -> int:
-    """Deterministic partition of a virtual vertex key (hash routing)."""
-    if isinstance(key, (int, np.integer)):
-        hashed = (int(key) * 2654435761) & 0xFFFFFFFF
-    else:
-        hashed = hash(key) & 0xFFFFFFFF
-    return hashed % num_parts
+    """Deterministic partition of a virtual vertex key (hash routing).
+
+    Uses :func:`repro.hashing.stable_hash`, never the salted built-in
+    ``hash`` — re-executed tasks and sibling processes must route a key
+    identically regardless of ``PYTHONHASHSEED``.
+    """
+    return stable_hash(key) % num_parts
 
 
 @dataclass
@@ -96,16 +99,22 @@ class PropagationEngine:
         local_opts: bool = True,
         values_io_fraction: np.ndarray | None = None,
         assignment: np.ndarray | None = None,
+        vectorized: bool | None = None,
     ):
         """``values_io_fraction[p]`` scales the per-iteration value I/O of
         partition ``p`` (used by cascaded propagation to model skipped
         intermediate reads/writes).  ``assignment[p]`` is the machine the
         job manager dispatches partition ``p``'s tasks to (must hold a
-        replica); defaults to the primaries."""
+        replica); defaults to the primaries.  ``vectorized`` selects the
+        Transfer implementation: ``None`` takes the array fast path when
+        the app supports it, ``False`` forces the scalar path (the
+        equivalence oracle), ``True`` requires the fast path and raises
+        :class:`JobError` if the app cannot take it."""
         self.pgraph = pgraph
         self.store = store
         self.cluster = cluster
         self.local_opts = local_opts
+        self.vectorized = vectorized
         if values_io_fraction is None:
             values_io_fraction = np.ones(pgraph.num_parts)
         self.values_io_fraction = values_io_fraction
@@ -161,8 +170,12 @@ class PropagationEngine:
             for t in transfers
             for q, box in t.cross_boxes.items()
         )
+        # Cross boxes are merged only when local optimizations are on
+        # (mirrors the MessageBox merge condition above): at O1/O2 an
+        # associative app still ships every raw message.
         total_shipped = sum(
-            len(box) if app.is_associative else box.message_count()
+            len(box) if app.is_associative and self.local_opts
+            else box.message_count()
             for t in transfers
             for box in t.cross_boxes.values()
         )
@@ -183,7 +196,195 @@ class PropagationEngine:
     def _run_transfer_udfs(
         self, app: PropagationApp, state: Any, p: int
     ) -> _PartitionTransfer:
-        """Run the transfer UDFs of partition ``p`` and route messages."""
+        """Run the transfer UDFs of partition ``p`` and route messages.
+
+        Dispatches between the vectorized fast path (array-at-a-time CSR
+        scan; bit-identical products) and the scalar per-edge loop.
+        """
+        if self._fast_path_ok(app):
+            result = self._run_transfer_vectorized(app, state, p)
+            if result is not None:
+                return result
+            if self.vectorized:
+                raise JobError(
+                    f"{app.name}: vectorized Transfer requested but "
+                    "transfer_array() declined"
+                )
+        elif self.vectorized:
+            raise JobError(
+                f"{app.name}: vectorized Transfer requested but the app "
+                "does not support the fast path"
+            )
+        return self._run_transfer_scalar(app, state, p)
+
+    def _fast_path_ok(self, app: PropagationApp) -> bool:
+        """Whether the app qualifies for the array Transfer fast path."""
+        if self.vectorized is False:
+            return False
+        cls = type(app)
+        if cls.transfer_array is PropagationApp.transfer_array:
+            return False  # hook not implemented
+        if app.uses_virtual_vertices:
+            return False
+        if (cls.select is not PropagationApp.select
+                and cls.select_array is PropagationApp.select_array):
+            return False  # scalar select overridden without array twin
+        if self.local_opts and app.is_associative and app.merge_ufunc is None:
+            return False  # merged boxes need a NumPy-expressible merge
+        return True
+
+    def _run_transfer_vectorized(
+        self, app: PropagationApp, state: Any, p: int
+    ) -> _PartitionTransfer | None:
+        """Array-at-a-time Transfer of partition ``p``.
+
+        Replays the scalar path's routing, merging and cost accounting as
+        CSR-slice operations: one ``transfer_array`` call over the
+        partition's (selected) out-edges, destination-partition grouping
+        via ``parts[dst]``, inner/boundary splitting via
+        ``boundary_mask``, per-destination merging via input-order folds
+        (:meth:`MessageBox.from_arrays`).  Products — messages, byte
+        counts, cpu ops — are bit-identical to the scalar path.
+        """
+        pg = self.pgraph
+        verts = pg.partition_vertices[p]
+        mask = app.select_array(verts, state)
+        if mask is None:  # select-all hits the cached gather
+            src, dst = pg.partition_out_edges(p)
+        else:
+            selected = verts[np.asarray(mask, dtype=bool)]
+            src, dst = pg.partition_out_edges(p, selected)
+        values = app.transfer_array(src, dst, state)
+        if values is None:
+            return None
+        values = np.asarray(values)
+
+        merge = app.merge if app.is_associative else None
+        box_merge = merge if self.local_opts else None
+        ufunc = app.merge_ufunc if box_merge is not None else None
+
+        result = _PartitionTransfer()
+        m = int(src.size)
+        result.messages = m
+        # scalar parity: +1 per scanned edge, +1 per routed message
+        result.cpu_ops += 2.0 * m
+
+        dest_parts = pg.parts[dst]
+        local = dest_parts == p
+        if self.local_opts:
+            inner = local & ~pg.boundary_mask[dst]
+            bnd = local & ~inner
+        else:
+            inner = np.zeros(m, dtype=bool)
+            bnd = local
+
+        result.boundary_box = MessageBox.from_arrays(
+            dst[bnd], values[bnd], merge=box_merge, ufunc=ufunc
+        )
+
+        cross_idx = np.flatnonzero(~local)
+        if cross_idx.size:
+            self._build_cross_boxes(
+                result, dst[cross_idx], values[cross_idx],
+                box_merge, ufunc,
+            )
+            if self.local_opts and merge is not None:
+                result.cpu_ops += float(cross_idx.size)  # the merge work
+
+        # Local propagation: combine inner vertices now, in memory.
+        if self.local_opts:
+            inner_idx = np.flatnonzero(inner)
+            if inner_idx.size:
+                order = np.argsort(dst[inner_idx], kind="stable")
+                ii = inner_idx[order]
+                d = dst[ii]
+                v = values[ii]
+                cuts = np.flatnonzero(d[1:] != d[:-1]) + 1
+                starts = np.concatenate(([0], cuts)).tolist()
+                ends = np.concatenate((cuts, [d.size])).tolist()
+                dlist = d.tolist()
+                vlist = v.tolist()
+                combine = app.combine
+                result_nbytes = app.result_nbytes
+                inner_combined = result.inner_combined
+                cpu_ops = 0.0
+                output_bytes = 0.0
+                for s, e in zip(starts, ends):
+                    dest = dlist[s]
+                    bag = vlist[s:e]
+                    out = combine(dest, bag, state)
+                    cpu_ops += len(bag) + 1.0
+                    if out is not None:
+                        inner_combined[dest] = out
+                        output_bytes += result_nbytes(dest, out)
+                # the increments are integer-valued floats, so summing
+                # them out of line is still exact
+                result.cpu_ops += cpu_ops
+                result.output_bytes += output_bytes
+                result.locally_propagated = len(starts)
+
+        result.spill_bytes = result.boundary_box.payload_bytes(app)
+        return result
+
+    def _build_cross_boxes(
+        self,
+        result: _PartitionTransfer,
+        dests: np.ndarray,
+        values: np.ndarray,
+        box_merge,
+        ufunc,
+    ) -> None:
+        """Group cross-partition messages into per-destination boxes.
+
+        One pass over the whole cross set: a destination vertex
+        determines its partition, so merging by destination globally and
+        splitting the merged rows by ``parts[dest]`` afterwards yields
+        exactly the per-partition boxes the scalar path builds — without
+        one sort/unique per remote partition.
+        """
+        pg = self.pgraph
+        if box_merge is not None:
+            uniq, merged, counts = fold_by_dest(dests, values, ufunc)
+            qs = pg.parts[uniq]
+            order = np.argsort(qs, kind="stable")
+            uniq, merged, counts, qs = (uniq[order], merged[order],
+                                        counts[order], qs[order])
+            cuts = np.flatnonzero(qs[1:] != qs[:-1]) + 1
+            starts = np.concatenate(([0], cuts)).tolist()
+            ends = np.concatenate((cuts, [qs.size])).tolist()
+            keys = uniq.tolist()
+            vals = merged.tolist()
+            cnts = counts.tolist()
+            qlist = qs.tolist()
+            for s, e in zip(starts, ends):
+                box = MessageBox(merge=box_merge)
+                box.data = dict(zip(keys[s:e], vals[s:e]))
+                box.counts = dict(zip(keys[s:e], cnts[s:e]))
+                result.cross_boxes[qlist[s]] = box
+            return
+        order = np.argsort(dests, kind="stable")
+        d = dests[order]
+        v = values[order]
+        cuts = np.flatnonzero(d[1:] != d[:-1]) + 1
+        starts = np.concatenate(([0], cuts)).tolist()
+        ends = np.concatenate((cuts, [d.size])).tolist()
+        dlist = d.tolist()
+        vlist = v.tolist()
+        qlist = pg.parts[d[starts]].tolist()
+        cross_boxes = result.cross_boxes
+        for s, e, q in zip(starts, ends, qlist):
+            dest = dlist[s]
+            box = cross_boxes.get(q)
+            if box is None:
+                box = MessageBox(merge=None)
+                cross_boxes[q] = box
+            box.data[dest] = vlist[s:e]
+            box.counts[dest] = e - s
+
+    def _run_transfer_scalar(
+        self, app: PropagationApp, state: Any, p: int
+    ) -> _PartitionTransfer:
+        """Per-edge Transfer of partition ``p`` (fallback and oracle)."""
         pg = self.pgraph
         result = _PartitionTransfer()
         merge = app.merge if app.is_associative else None

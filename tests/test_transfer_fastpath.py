@@ -1,0 +1,273 @@
+"""Vectorized Transfer fast path: equivalence, routing determinism,
+and the shipped-message accounting regression.
+
+The scalar per-edge path is the oracle: the array path must reproduce its
+results, message counts, byte counts and task costs *bit for bit* at
+every optimization level (see docs/COST_MODEL.md for the contract).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import NetworkRankingPropagation
+from repro.apps.connected_components import ConnectedComponentsPropagation
+from repro.apps.recommender import RecommenderPropagation
+from repro.core.surfer import Surfer
+from repro.errors import JobError
+from repro.graph.generators import composite_social_graph
+from repro.propagation.api import MessageBox, PropagationApp, fold_by_dest
+from repro.propagation.engine import virtual_partition
+from repro.mapreduce.engine import reducer_of
+from tests.conftest import make_test_cluster
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+# ----------------------------------------------------------------------
+# CSR slice gathering
+# ----------------------------------------------------------------------
+class TestOutEdgesOf:
+    def test_matches_scan_order(self, small_graph):
+        verts = np.array([5, 0, 17, 100, 3], dtype=np.int64)
+        src, dst = small_graph.out_edges_of(verts)
+        expected = [
+            (int(u), int(v))
+            for u in verts
+            for v in small_graph.out_neighbors(int(u))
+        ]
+        assert list(zip(src.tolist(), dst.tolist())) == expected
+
+    def test_empty_subset(self, small_graph):
+        src, dst = small_graph.out_edges_of(np.zeros(0, dtype=np.int64))
+        assert src.size == 0 and dst.size == 0
+
+    def test_full_graph_matches_edges(self, small_graph):
+        src, dst = small_graph.out_edges_of(
+            np.arange(small_graph.num_vertices)
+        )
+        assert np.array_equal(src, small_graph.edge_sources())
+        assert np.array_equal(dst, small_graph.out_indices)
+
+
+# ----------------------------------------------------------------------
+# Order-exact array folding and box construction
+# ----------------------------------------------------------------------
+class TestFoldByDest:
+    def test_float_add_is_bit_identical_to_scalar_fold(self):
+        rng = np.random.default_rng(11)
+        dests = rng.integers(0, 40, 5000)
+        values = rng.random(5000)
+        oracle: dict[int, float] = {}
+        for d, v in zip(dests, values):
+            d = int(d)
+            oracle[d] = oracle[d] + v if d in oracle else v
+        uniq, merged, counts = fold_by_dest(dests, values, np.add)
+        assert uniq.tolist() == sorted(oracle)
+        for d, m in zip(uniq.tolist(), merged):
+            assert m == oracle[d]  # exact, not approx
+        assert int(counts.sum()) == 5000
+
+    def test_minimum_fold(self):
+        dests = np.array([3, 1, 3, 1, 3])
+        values = np.array([5, 9, 2, 4, 7], dtype=np.int64)
+        uniq, merged, counts = fold_by_dest(dests, values, np.minimum)
+        assert uniq.tolist() == [1, 3]
+        assert merged.tolist() == [4, 2]
+        assert counts.tolist() == [2, 3]
+
+
+class TestFromArrays:
+    def test_bags_match_add_sequence(self):
+        dests = np.array([2, 1, 2, 2, 1])
+        values = np.array([10, 20, 30, 40, 50])
+        oracle = MessageBox()
+        for d, v in zip(dests, values):
+            oracle.add(int(d), v)
+        box = MessageBox.from_arrays(dests, values)
+        assert box.data.keys() == oracle.data.keys()
+        for d in oracle.data:
+            assert [int(v) for v in box.values_of(d)] == \
+                [int(v) for v in oracle.values_of(d)]
+        assert box.counts == oracle.counts
+
+    def test_merged_match_add_sequence(self):
+        rng = np.random.default_rng(5)
+        dests = rng.integers(0, 10, 300)
+        values = rng.random(300)
+        oracle = MessageBox(merge=lambda a, b: a + b)
+        for d, v in zip(dests, values):
+            oracle.add(int(d), v)
+        box = MessageBox.from_arrays(dests, values, merge=lambda a, b: a + b,
+                                     ufunc=np.add)
+        assert set(box.data) == set(oracle.data)
+        for d in oracle.data:
+            assert box.data[d] == oracle.data[d]  # bitwise
+        assert box.counts == oracle.counts
+
+    def test_payload_cache_invalidated_by_add(self):
+        app = NetworkRankingPropagation()
+        box = MessageBox()
+        box.add(1, 1.0)
+        first = box.payload_bytes(app)
+        box.add(2, 1.0)
+        assert box.payload_bytes(app) == 2 * first
+
+
+# ----------------------------------------------------------------------
+# Scalar vs. vectorized engine equivalence
+# ----------------------------------------------------------------------
+def _job_signature(job):
+    reports = [
+        (r.messages_emitted, r.messages_shipped, r.network_bytes,
+         r.spill_bytes, r.locally_propagated)
+        for r in job.reports
+    ]
+    tasks = [
+        (e.task.name, e.task.cpu_ops, e.task.disk_read_bytes,
+         e.task.disk_write_bytes, tuple(e.task.sends),
+         tuple(e.task.receives), e.task.disk_penalty)
+        for e in job.executions
+    ]
+    metrics = (job.metrics.network_bytes, job.metrics.disk_bytes,
+               job.metrics.response_time)
+    return reports, tasks, metrics
+
+
+class TestFastPathEquivalence:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return composite_social_graph(
+            num_communities=8, community_size=64, k=5, seed=9
+        )
+
+    @pytest.mark.parametrize("local_opts", [True, False])
+    @pytest.mark.parametrize("app_name", ["NR", "CC", "RS"])
+    def test_bit_identical_products(self, graph, app_name, local_opts):
+        apps = {
+            "NR": (NetworkRankingPropagation, graph),
+            "CC": (ConnectedComponentsPropagation, graph.symmetrized()),
+            "RS": (RecommenderPropagation, graph),
+        }
+        app_cls, g = apps[app_name]
+        surfer = Surfer(g, make_test_cluster(4), num_parts=8, seed=3)
+        scalar = surfer.run_propagation(app_cls(), iterations=3,
+                                        local_opts=local_opts,
+                                        vectorized=False)
+        fast = surfer.run_propagation(app_cls(), iterations=3,
+                                      local_opts=local_opts,
+                                      vectorized=True)
+        assert np.array_equal(np.asarray(scalar.result),
+                              np.asarray(fast.result))
+        assert _job_signature(scalar) == _job_signature(fast)
+
+    def test_force_vectorized_rejects_unsupported_app(self, graph):
+        class NoArrayApp(PropagationApp):
+            name = "no-array"
+            is_associative = True
+
+            def transfer(self, u, v, state):
+                return 1.0
+
+            def combine(self, v, values, state):
+                return sum(values)
+
+            def merge(self, a, b):
+                return a + b
+
+            def update(self, state, combined):
+                pass
+
+            def setup(self, pgraph):
+                return None
+
+        surfer = Surfer(graph, make_test_cluster(4), num_parts=8, seed=3)
+        with pytest.raises(JobError):
+            surfer.run_propagation(NoArrayApp(), vectorized=True)
+
+    def test_scalar_select_without_array_twin_falls_back(self, graph):
+        """Overriding select but not select_array disqualifies the fast
+        path instead of silently selecting every vertex."""
+
+        class HalfSelect(NetworkRankingPropagation):
+            def select(self, u, state):
+                return u % 2 == 0
+
+        surfer = Surfer(graph, make_test_cluster(4), num_parts=8, seed=3)
+        with pytest.raises(JobError):
+            surfer.run_propagation(HalfSelect(), vectorized=True)
+        auto = surfer.run_propagation(HalfSelect())  # auto: scalar path
+        scalar = surfer.run_propagation(HalfSelect(), vectorized=False)
+        assert np.array_equal(np.asarray(auto.result),
+                              np.asarray(scalar.result))
+        assert _job_signature(auto) == _job_signature(scalar)
+
+
+# ----------------------------------------------------------------------
+# Regression: messages_shipped at O1/O2 (no local optimizations)
+# ----------------------------------------------------------------------
+class TestShippedAccounting:
+    def test_unmerged_cross_messages_all_counted(self, small_graph):
+        """Without local optimizations an associative app ships every raw
+        message; the report must not collapse them to distinct
+        destinations (the pre-fix behavior)."""
+        surfer = Surfer(small_graph, make_test_cluster(4), num_parts=8,
+                        seed=3)
+        job = surfer.run_propagation(NetworkRankingPropagation(),
+                                     local_opts=False)
+        report = job.reports[0]
+        # NR transfers along every edge, so every cross edge ships one
+        # unmerged message.
+        assert report.messages_shipped == surfer.pgraph.num_cross_edges
+        # merging must make the count strictly smaller on this workload
+        merged = surfer.run_propagation(NetworkRankingPropagation(),
+                                        local_opts=True)
+        assert merged.reports[0].messages_shipped < report.messages_shipped
+
+
+# ----------------------------------------------------------------------
+# Regression: routing determinism across PYTHONHASHSEED values
+# ----------------------------------------------------------------------
+_ROUTE_SNIPPET = """
+from repro.propagation.engine import virtual_partition
+from repro.mapreduce.engine import reducer_of
+keys = ["user:42", "item-7", ("pair", 3), b"blob", 42, -5]
+print([virtual_partition(k, 16) for k in keys])
+print([reducer_of(k, 8) for k in keys])
+"""
+
+
+class TestRoutingDeterminism:
+    def _route_output(self, hashseed: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _ROUTE_SNIPPET],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return proc.stdout
+
+    def test_string_key_routing_survives_hash_salting(self):
+        out0 = self._route_output("0")
+        out1 = self._route_output("12345")
+        assert out0 == out1
+        # and the parent process (whatever its seed) agrees too
+        keys = ["user:42", "item-7", ("pair", 3), b"blob", 42, -5]
+        local = str([virtual_partition(k, 16) for k in keys]) + "\n" + \
+            str([reducer_of(k, 8) for k in keys]) + "\n"
+        assert out0 == local
+
+    def test_int_routing_unchanged_from_seed(self):
+        # the Knuth multiplicative hash for ints is load-bearing for
+        # existing layouts: keep it byte-for-byte
+        assert virtual_partition(42, 16) == \
+            ((42 * 2654435761) & 0xFFFFFFFF) % 16
+        assert reducer_of(np.int64(9), 8) == \
+            ((9 * 2654435761) & 0xFFFFFFFF) % 8
