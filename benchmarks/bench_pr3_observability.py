@@ -1,0 +1,98 @@
+"""PR 3 — observability layer: stable-schema bench JSON + reconciliation.
+
+Runs the NR workloads behind Figure 7 (propagation vs MapReduce on the
+standard 32-machine cluster) and the Figure 11 weak-scaling endpoints,
+verifies that every run's event stream reconciles exactly with the
+cluster's cost counters, and persists the results as ``BENCH_PR3.json``
+at the repo root — the ``repro-bench/v1`` document consecutive PRs diff
+against.  A sample Chrome trace of the standard NR run lands in
+``benchmarks/results/`` for loading in chrome://tracing / Perfetto.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.bench.benchjson import (
+    job_record,
+    load_bench_json,
+    validate_bench_json,
+    write_bench_json,
+)
+from repro.bench.experiments import (
+    default_iterations,
+    make_app,
+    parts_for,
+)
+from repro.bench.workloads import SCALED_LINK_BPS, Workload, make_cluster, scaled_graph
+from repro.cluster.topology import t1
+from repro.runtime.events import reconcile, write_chrome_trace
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_PR3.json"
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _timed(run):
+    start = time.perf_counter()
+    job = run()
+    return job, time.perf_counter() - start
+
+
+def test_bench_pr3_observability(workload, record):
+    records: dict[str, dict] = {}
+    iters = default_iterations("NR")
+    surfer = workload.surfer("bandwidth-aware")
+
+    # -- Figure 7's NR pair: propagation vs MapReduce -------------------
+    prop_job, wall = _timed(lambda: surfer.run_propagation(
+        make_app("NR", "propagation"), iterations=iters, local_opts=True))
+    assert reconcile(prop_job) == []
+    records["fig7_nr_propagation"] = job_record(prop_job, wall)
+
+    mr_job, wall = _timed(lambda: surfer.run_mapreduce(
+        make_app("NR", "mapreduce"), rounds=iters))
+    assert reconcile(mr_job) == []
+    records["fig7_nr_mapreduce"] = job_record(mr_job, wall)
+
+    # -- Figure 11 weak-scaling endpoints -------------------------------
+    for m in (8, 32):
+        graph = scaled_graph(m, seed=2010)
+        wl = Workload(graph=graph,
+                      cluster=make_cluster(t1(m, SCALED_LINK_BPS)),
+                      num_parts=parts_for(graph, m), seed=2010)
+        job, wall = _timed(lambda wl=wl: wl.surfer(
+            "bandwidth-aware").run_propagation(
+                make_app("NR", "propagation"), iterations=1,
+                local_opts=True))
+        assert reconcile(job) == [], f"fig11 @ {m} machines"
+        records[f"fig11_nr_{m}_machines"] = job_record(job, wall)
+
+    # -- persist: bench JSON (repo root) + sample Chrome trace ----------
+    doc = write_bench_json(BENCH_PATH, records)
+    assert validate_bench_json(load_bench_json(BENCH_PATH)) == []
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_chrome_trace(prop_job.events, RESULTS_DIR / "trace_pr3_nr.json")
+
+    lines = [f"BENCH_PR3 ({doc['schema']}):"]
+    for name in sorted(records):
+        r = records[name]
+        lines.append(
+            f"  {name:24s} makespan {r['makespan_s']:10,.1f}s  "
+            f"net {r['network_bytes']:12,d} B  "
+            f"tasks {r['tasks']:4d}  wall {r['wall_clock_s']:.2f}s"
+        )
+    record("bench_pr3_observability", "\n".join(lines))
+
+    # paper shape: propagation beats MapReduce on NR, and the network
+    # saving is the structural reason (Figure 7)
+    prop = records["fig7_nr_propagation"]
+    mr = records["fig7_nr_mapreduce"]
+    assert prop["makespan_s"] < mr["makespan_s"]
+    assert prop["network_bytes"] < mr["network_bytes"]
+    # weak scaling: fig11 endpoints stay in a modest band
+    t8 = records["fig11_nr_8_machines"]["makespan_s"]
+    t32 = records["fig11_nr_32_machines"]["makespan_s"]
+    assert t32 <= 2.0 * t8

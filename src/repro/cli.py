@@ -4,6 +4,10 @@
 
 * ``run`` — deploy a synthetic graph and run one application on a chosen
   topology/primitive, printing metrics and the utilization report;
+* ``profile`` — like ``run``, but with full observability: writes a
+  Chrome-trace JSON (chrome://tracing, Perfetto), prints the metrics
+  registry, verifies the trace reconciles with the cluster counters and
+  optionally records a ``repro-bench/v1`` JSON;
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``partition`` — partition a graph and save the plan to a ``.npz`` file;
 * ``info`` — describe a saved plan;
@@ -32,21 +36,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_job_options(p) -> None:
+        p.add_argument("app", choices=list(APP_ORDER) + ["CC", "DIAM"])
+        p.add_argument("--engine", choices=("propagation", "mapreduce"),
+                       default="propagation")
+        p.add_argument("--topology", choices=_TOPOLOGIES, default="T1")
+        p.add_argument("--layout",
+                       choices=("bandwidth-aware", "oblivious"),
+                       default="bandwidth-aware")
+        p.add_argument("--machines", type=int, default=16)
+        p.add_argument("--parts", type=int, default=32)
+        p.add_argument("--iterations", type=int, default=None)
+        p.add_argument("--communities", type=int, default=16)
+        p.add_argument("--community-size", type=int, default=256)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--no-local-opts", action="store_true")
+
     run = sub.add_parser("run", help="run one application")
-    run.add_argument("app", choices=list(APP_ORDER) + ["CC", "DIAM"])
-    run.add_argument("--engine", choices=("propagation", "mapreduce"),
-                     default="propagation")
-    run.add_argument("--topology", choices=_TOPOLOGIES, default="T1")
-    run.add_argument("--layout",
-                     choices=("bandwidth-aware", "oblivious"),
-                     default="bandwidth-aware")
-    run.add_argument("--machines", type=int, default=16)
-    run.add_argument("--parts", type=int, default=32)
-    run.add_argument("--iterations", type=int, default=None)
-    run.add_argument("--communities", type=int, default=16)
-    run.add_argument("--community-size", type=int, default=256)
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--no-local-opts", action="store_true")
+    add_job_options(run)
+
+    prof = sub.add_parser(
+        "profile",
+        help="run one application with full observability "
+             "(Chrome trace, metrics, bench JSON)",
+    )
+    add_job_options(prof)
+    prof.add_argument("--trace", default=None,
+                      help="Chrome-trace JSON output path "
+                           "(default trace_<app>.json)")
+    prof.add_argument("--bench", default=None,
+                      help="also write a repro-bench/v1 JSON of this run "
+                           "to the given path")
+    prof.add_argument("--bench-name", default=None,
+                      help="workload name in the bench JSON "
+                           "(default profile_<app>_<engine>)")
 
     exp = sub.add_parser("experiment",
                          help="regenerate a paper table/figure")
@@ -105,11 +128,18 @@ def _make_graph(args, symmetrize: bool = False):
     return graph.symmetrized() if symmetrize else graph
 
 
-def _cmd_run(args) -> int:
+def _deploy_and_run(args):
+    """Build graph/cluster/Surfer per ``args`` and run the job.
+
+    Shared by ``run`` and ``profile``.  Returns ``(job, wall_clock_s)``,
+    or ``(None, 0.0)`` when the app has no implementation for the
+    requested engine (an error has been printed).
+    """
+    import time
+
     from repro.apps import APP_REGISTRY, EXTENSION_APPS
     from repro.bench.workloads import make_cluster
     from repro.core import Surfer
-    from repro.runtime.monitor import JobMonitor
 
     symmetrize = args.app in ("CC", "DIAM")
     graph = _make_graph(args, symmetrize=symmetrize)
@@ -128,11 +158,12 @@ def _cmd_run(args) -> int:
         prop_cls, mr_cls = EXTENSION_APPS[args.app]
         iterations = args.iterations or 50
         until = True
+    wall_start = time.perf_counter()
     if args.engine == "mapreduce":
         if mr_cls is None:
             print(f"{args.app} has no MapReduce implementation",
                   file=sys.stderr)
-            return 2
+            return None, 0.0
         job = surfer.run_mapreduce(mr_cls(), rounds=iterations,
                                    until_convergence=until)
     else:
@@ -141,14 +172,65 @@ def _cmd_run(args) -> int:
             local_opts=not args.no_local_opts,
             until_convergence=until,
         )
+    return job, time.perf_counter() - wall_start
+
+
+def _print_metrics(job) -> None:
     m = job.metrics
     print(f"response time : {m.response_time:12,.1f}s simulated")
     print(f"machine time  : {m.total_machine_time:12,.1f}s")
     print(f"network I/O   : {m.network_bytes:12,d} B")
     print(f"disk I/O      : {m.disk_bytes:12,d} B")
+
+
+def _cmd_run(args) -> int:
+    from repro.runtime.monitor import JobMonitor
+
+    job, _ = _deploy_and_run(args)
+    if job is None:
+        return 2
+    _print_metrics(job)
     print()
     print(JobMonitor(job.executions).report())
     return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.bench.benchjson import job_record, write_bench_json
+    from repro.runtime.events import reconcile, write_chrome_trace
+    from repro.runtime.monitor import JobMonitor
+
+    job, wall = _deploy_and_run(args)
+    if job is None:
+        return 2
+    _print_metrics(job)
+    print(f"wall clock    : {wall:12,.3f}s real")
+    print()
+    print(JobMonitor(job.executions, job.recovery_events,
+                     events=job.events).report())
+    print()
+
+    problems = reconcile(job)
+    if problems:
+        print("trace does NOT reconcile with cluster counters:",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+    else:
+        print("trace reconciles with cluster counters "
+              "(makespan, disk, network)")
+
+    trace_path = args.trace or f"trace_{args.app}.json"
+    write_chrome_trace(job.events, trace_path)
+    print(f"chrome trace  : {trace_path} "
+          f"({len(job.events.spans)} spans, "
+          f"{len(job.events.instants)} instants) — load in "
+          "chrome://tracing or https://ui.perfetto.dev")
+    if args.bench:
+        name = args.bench_name or f"profile_{args.app}_{args.engine}"
+        write_bench_json(args.bench, {name: job_record(job, wall)})
+        print(f"bench JSON    : {args.bench} (workload {name!r})")
+    return 1 if problems else 0
 
 
 def _cmd_experiment(args) -> int:
@@ -290,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "run": _cmd_run,
+        "profile": _cmd_profile,
         "experiment": _cmd_experiment,
         "partition": _cmd_partition,
         "info": _cmd_info,

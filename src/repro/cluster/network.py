@@ -51,11 +51,19 @@ class TrafficCounter:
 
 
 class NetworkModel:
-    """Charges transfer times against a :class:`Topology` and keeps counters."""
+    """Charges transfer times against a :class:`Topology` and keeps counters.
 
-    def __init__(self, topology: Topology):
+    ``metrics`` (optional) is the current job's
+    :class:`~repro.runtime.events.MetricsRegistry`; when bound (the
+    Surfer binds one per run), every accounted transfer also increments
+    the named ``network.*`` counters so the observability layer sees the
+    same totals as :class:`TrafficCounter`.
+    """
+
+    def __init__(self, topology: Topology, metrics=None):
         self.topology = topology
         self.traffic = TrafficCounter()
+        self.metrics = metrics
 
     def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
         """Simulated seconds to move ``nbytes`` from ``src`` to ``dst``.
@@ -78,6 +86,13 @@ class NetworkModel:
             return 0.0
         cross_pod = self.topology.pod_of(src) != self.topology.pod_of(dst)
         self.traffic.record(src, dst, int(nbytes), cross_pod, background)
+        if self.metrics is not None:
+            self.metrics.add("network.bytes_total", int(nbytes))
+            self.metrics.add("network.transfers")
+            if cross_pod:
+                self.metrics.add("network.bytes_cross_pod", int(nbytes))
+            if background:
+                self.metrics.add("network.bytes_background", int(nbytes))
         return nbytes / self.topology.bandwidth(src, dst)
 
     def effective_bandwidth(

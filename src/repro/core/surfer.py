@@ -52,6 +52,7 @@ from repro.propagation.cascade import (
     compute_cascade_info,
 )
 from repro.propagation.engine import IterationReport, PropagationEngine
+from repro.runtime.events import EventStream
 from repro.runtime.scheduler import StageScheduler
 from repro.runtime.tasks import RecoveryEvent, TaskExecution
 
@@ -85,6 +86,9 @@ class JobResult:
 
     ``failed=True`` means the job could not recover (every replica of some
     partition lost); ``result`` is then None and ``error`` says why.
+    ``events`` is the job's observability stream: spans for every task
+    execution, stage and iteration, instants for every recovery action,
+    and the metrics registry the engines and network model wrote into.
     """
 
     result: Any
@@ -94,6 +98,7 @@ class JobResult:
     recovery_events: list[RecoveryEvent] = field(default_factory=list)
     failed: bool = False
     error: str | None = None
+    events: EventStream | None = None
 
     @property
     def response_time(self) -> float:
@@ -205,9 +210,11 @@ class Surfer:
                 f"{app.name}: until_convergence needs a converged() hook"
             )
         self.cluster.reset()
+        events = self._event_stream()
         scheduler = StageScheduler(self.cluster, fault_plan, self.store,
                                    pipelined=pipelined,
-                                   speculation=speculation)
+                                   speculation=speculation,
+                                   events=events)
         state = app.setup(self.pgraph)
 
         fractions = None
@@ -238,6 +245,7 @@ class Surfer:
             reports=reports,
             executions=scheduler.executions,
             recovery_events=scheduler.recovery_events,
+            events=events,
         )
 
     def run_mapreduce(
@@ -262,9 +270,11 @@ class Surfer:
                 f"{app.name}: until_convergence needs a converged() hook"
             )
         self.cluster.reset()
+        events = self._event_stream()
         scheduler = StageScheduler(self.cluster, fault_plan, self.store,
                                    pipelined=pipelined,
-                                   speculation=speculation)
+                                   speculation=speculation,
+                                   events=events)
         state = app.setup(self.pgraph)
         reports: list[RoundReport] = []
         engine = MapReduceEngine(self.pgraph, self.store, self.cluster,
@@ -284,7 +294,19 @@ class Surfer:
             reports=reports,
             executions=scheduler.executions,
             recovery_events=scheduler.recovery_events,
+            events=events,
         )
+
+    def _event_stream(self) -> EventStream:
+        """A fresh per-job observability stream, bound to the network.
+
+        The network model holds a reference to the *current* job's
+        metrics registry; rebinding per run keeps a finished
+        :class:`JobResult`'s stream frozen while the cluster is reused.
+        """
+        events = EventStream()
+        self.cluster.network.metrics = events.metrics
+        return events
 
     def _failed_job(self, scheduler: StageScheduler, reports: list,
                     exc: DataLossError) -> JobResult:
@@ -297,6 +319,7 @@ class Surfer:
             recovery_events=scheduler.recovery_events,
             failed=True,
             error=str(exc),
+            events=scheduler.events,
         )
 
 

@@ -14,6 +14,7 @@ One round = three phases folded into two barrier stages:
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from dataclasses import dataclass
@@ -83,6 +84,7 @@ class MapReduceEngine:
         scheduler: StageScheduler,
     ) -> tuple[dict, RoundReport]:
         """Run one map+shuffle+reduce round; returns (outputs, report)."""
+        wall_start = time.perf_counter()
         num_reducers = self.cluster.num_machines
         # -------- Map phase: run UDFs, bucket emissions per reducer ----
         buckets: list[dict] = [dict() for _ in range(num_reducers)]
@@ -137,7 +139,9 @@ class MapReduceEngine:
                 fetches=fetches,
                 disk_penalty=penalty,
             ))
+        map_wall = time.perf_counter() - wall_start
         map_result = scheduler.run_stage(map_tasks)
+        wall_start = time.perf_counter()
 
         # -------- Reduce phase ------------------------------------------
         outputs: dict = {}
@@ -180,6 +184,7 @@ class MapReduceEngine:
                 receives=inbound,
                 input_transfers=inbound,
             ))
+        reduce_wall = time.perf_counter() - wall_start
         reduce_result = scheduler.run_stage(reduce_tasks)
 
         network_bytes = sum(
@@ -195,4 +200,25 @@ class MapReduceEngine:
             shuffle_bytes=shuffle_bytes,
             network_bytes=network_bytes,
         )
+        self._observe_round(scheduler, report, map_wall + reduce_wall)
         return outputs, report
+
+    def _observe_round(self, scheduler: StageScheduler,
+                       report: RoundReport,
+                       udf_wall_seconds: float) -> None:
+        """Record the round's span and metrics on the job's stream."""
+        stream = scheduler.events
+        rounds = int(stream.metrics.get("mapreduce.rounds"))
+        stream.emit(
+            name=f"round[{rounds}]",
+            kind="round",
+            start=report.map_stage.start_time,
+            end=report.reduce_stage.end_time,
+            wall_self_seconds=udf_wall_seconds,
+        )
+        m = stream.metrics
+        m.add("mapreduce.rounds")
+        m.add("mapreduce.map_records", report.map_records)
+        m.add("mapreduce.shuffle_bytes", report.shuffle_bytes)
+        m.add("mapreduce.network_bytes", report.network_bytes)
+        m.add("wall.udf_seconds", udf_wall_seconds)

@@ -116,7 +116,13 @@ class PropagationApp:
         to ``transfer(src[i], dst[i], state)`` — or ``None`` to decline,
         in which case the engine falls back to the scalar path.  Edges
         whose scalar ``transfer`` would return ``None`` cannot be
-        expressed here; such apps must stay on the scalar path.
+        expressed here; such apps MUST stay on the scalar path (decline
+        by returning ``None``).  Violating this diverges both the
+        results and the cost accounting: the scalar path charges one cpu
+        op per scanned edge plus one per *routed* message (a ``None``
+        return routes nothing), while the fast path charges exactly two
+        per edge — the "bit-identical" guarantee holds only when no edge
+        returns ``None``.
         """
         return None
 

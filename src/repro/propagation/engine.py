@@ -25,6 +25,7 @@ which is exactly the traffic gap Tables 2 and 3 measure.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING
 
 from dataclasses import dataclass, field
@@ -141,6 +142,7 @@ class PropagationEngine:
     ) -> tuple[dict, IterationReport]:
         """Execute one iteration; returns (combined results, report)."""
         num_parts = self.pgraph.num_parts
+        wall_start = time.perf_counter()
         transfers = [
             self._run_transfer_udfs(app, state, p) for p in range(num_parts)
         ]
@@ -148,8 +150,10 @@ class PropagationEngine:
             self._transfer_task(app, p, transfers[p])
             for p in range(num_parts)
         ]
+        transfer_wall = time.perf_counter() - wall_start
         transfer_result = scheduler.run_stage(transfer_tasks)
 
+        wall_start = time.perf_counter()
         inboxes, inbox_sources = self._route(app, transfers)
         combined: dict = {}
         combine_tasks: list[Task] = []
@@ -159,6 +163,7 @@ class PropagationEngine:
             )
             combine_tasks.append(task)
             combined.update(part_combined)
+        combine_wall = time.perf_counter() - wall_start
         combine_result = scheduler.run_stage(combine_tasks)
 
         if self.local_opts:
@@ -188,7 +193,37 @@ class PropagationEngine:
             spill_bytes=sum(t.spill_bytes for t in transfers),
             locally_propagated=sum(t.locally_propagated for t in transfers),
         )
+        self._observe_iteration(scheduler, report,
+                                transfer_wall + combine_wall)
         return combined, report
+
+    def _observe_iteration(self, scheduler: StageScheduler,
+                           report: IterationReport,
+                           udf_wall_seconds: float) -> None:
+        """Record the iteration's span and metrics on the job's stream.
+
+        The UDF wall time (running transfer/combine in Python, outside
+        the simulated cost model) lands on the iteration span and the
+        ``wall.udf_seconds`` counter, keeping simulator overhead
+        separable from simulated cost.
+        """
+        stream = scheduler.events
+        iteration = int(stream.metrics.get("propagation.iterations"))
+        stream.emit(
+            name=f"iteration[{iteration}]",
+            kind="iteration",
+            start=report.transfer_stage.start_time,
+            end=report.combine_stage.end_time,
+            wall_self_seconds=udf_wall_seconds,
+        )
+        m = stream.metrics
+        m.add("propagation.iterations")
+        m.add("propagation.messages_emitted", report.messages_emitted)
+        m.add("propagation.messages_shipped", report.messages_shipped)
+        m.add("propagation.network_bytes", report.network_bytes)
+        m.add("propagation.spill_bytes", report.spill_bytes)
+        m.add("propagation.locally_propagated", report.locally_propagated)
+        m.add("wall.udf_seconds", udf_wall_seconds)
 
     # ------------------------------------------------------------------
     # Transfer stage
@@ -266,7 +301,13 @@ class PropagationEngine:
         result = _PartitionTransfer()
         m = int(src.size)
         result.messages = m
-        # scalar parity: +1 per scanned edge, +1 per routed message
+        # scalar parity: +1 per scanned edge, +1 per routed message.
+        # This collapses to 2m only because every scanned edge routes a
+        # message: transfer_array cannot express per-edge None, so apps
+        # whose scalar transfer() may return None must decline the fast
+        # path (return None from transfer_array) or the scalar path's
+        # edges_scanned + messages_routed charge would diverge from
+        # this one (see tests/test_observability.py::TestNoneTransferContract).
         result.cpu_ops += 2.0 * m
 
         dest_parts = pg.parts[dst]

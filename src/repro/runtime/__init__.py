@@ -1,5 +1,14 @@
-"""Simulated Surfer runtime: tasks, job scheduler, traces."""
+"""Simulated Surfer runtime: tasks, job scheduler, traces, observability."""
 
+from repro.runtime.events import (
+    EventStream,
+    Instant,
+    MetricsRegistry,
+    Span,
+    chrome_trace,
+    reconcile,
+    write_chrome_trace,
+)
 from repro.runtime.tasks import (
     RecoveryEvent,
     StageResult,
@@ -22,9 +31,18 @@ from repro.runtime.monitor import (
     JobMonitor,
     MachineUtilization,
     estimate_progress,
+    failed_task_seconds,
 )
 
 __all__ = [
+    "EventStream",
+    "Instant",
+    "MetricsRegistry",
+    "Span",
+    "chrome_trace",
+    "reconcile",
+    "write_chrome_trace",
+    "failed_task_seconds",
     "RecoveryEvent",
     "StageResult",
     "Task",

@@ -1,0 +1,355 @@
+"""Run-wide observability: structured spans, metrics, Chrome-trace export.
+
+The paper's job manager "records resource utilization and estimates the
+execution progress of the job" (Appendix B).  This module is the
+substrate for that: every component of the runtime — the stage
+scheduler, the propagation and MapReduce engines, the network model and
+the fault-recovery path — emits into one :class:`EventStream` per job:
+
+* :class:`Span` — one timed unit of simulated work (a task execution, a
+  barrier stage, an iteration), carrying the simulated window, the
+  machine/partition it ran on, and its cost counters (cpu ops,
+  disk/network bytes).  ``wall_self_seconds`` records the *real* Python
+  time spent producing the span, so simulated cost and simulator
+  overhead can be separated in one trace.
+* :class:`Instant` — a point event (fault detected, task re-dispatched,
+  replica re-created, ...).
+* :class:`MetricsRegistry` — named monotonic counters and gauges shared
+  by the scheduler, the engines and the network model; the registry is
+  the single source the reports and the BENCH JSON read from.
+
+:func:`chrome_trace` serializes a stream into the Chrome ``traceEvents``
+JSON format, loadable in ``chrome://tracing`` or Perfetto: one process
+per job section, one lane (thread) per machine, counters attached as
+``args``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "Span",
+    "Instant",
+    "MetricsRegistry",
+    "EventStream",
+    "chrome_trace",
+    "write_chrome_trace",
+    "reconcile",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed unit of simulated work.
+
+    ``start``/``end`` are simulated seconds; ``machine`` is ``-1`` for
+    run-level spans (barrier stages, iterations) that belong to no single
+    machine.  Cost counters describe the work *attempted* in the window;
+    for failed spans (``succeeded=False``) the charged fraction is
+    ``duration / planned_duration``.
+    """
+
+    name: str
+    kind: str
+    start: float
+    end: float
+    machine: int = -1
+    partition: int | None = None
+    succeeded: bool = True
+    attempt: int = 0
+    cpu_ops: float = 0.0
+    disk_read_bytes: float = 0.0
+    disk_write_bytes: float = 0.0
+    net_send_bytes: float = 0.0
+    net_recv_bytes: float = 0.0
+    #: full duration the work was dispatched with (equals ``duration``
+    #: for successful spans; larger for spans cut short by a fault)
+    planned_duration: float = 0.0
+    #: real (wall-clock) seconds of Python time spent producing this
+    #: span, exclusive of child spans — simulator overhead, not model
+    wall_self_seconds: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def disk_bytes(self) -> float:
+        return self.disk_read_bytes + self.disk_write_bytes
+
+
+@dataclass(frozen=True)
+class Instant:
+    """A point event on the simulated timeline."""
+
+    time: float
+    name: str
+    kind: str
+    machine: int = -1
+    partition: int | None = None
+    nbytes: int = 0
+
+
+class MetricsRegistry:
+    """Named monotonic counters and last-value gauges.
+
+    Counter names are dotted paths (``network.bytes_total``,
+    ``propagation.messages_shipped``); the registry is deliberately
+    schema-free — any component may mint a name — but the canonical
+    names are documented in ``docs/OBSERVABILITY.md`` and stable across
+    PRs because the BENCH JSON reads them.
+    """
+
+    def __init__(self):
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        if name in self.counters:
+            return self.counters[name]
+        return self.gauges.get(name, default)
+
+    def snapshot(self) -> dict[str, float]:
+        """All counters and gauges as one flat dict (gauges prefixed)."""
+        out = dict(sorted(self.counters.items()))
+        out.update({f"gauge:{k}": v
+                    for k, v in sorted(self.gauges.items())})
+        return out
+
+    def report(self) -> str:
+        lines = ["metrics:"]
+        for name, value in sorted(self.counters.items()):
+            if float(value).is_integer():
+                lines.append(f"  {name:40s} {int(value):>16,d}")
+            else:
+                lines.append(f"  {name:40s} {value:>16,.2f}")
+        for name, value in sorted(self.gauges.items()):
+            lines.append(f"  {name:40s} {value:>16,.2f} (gauge)")
+        return "\n".join(lines)
+
+
+class EventStream:
+    """The per-job collector every runtime component emits into."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- emission ------------------------------------------------------
+    def span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def emit(self, **kwargs) -> Span:
+        s = Span(**kwargs)
+        self.spans.append(s)
+        return s
+
+    def instant(self, time: float, name: str, kind: str,
+                machine: int = -1, partition: int | None = None,
+                nbytes: int = 0) -> None:
+        self.instants.append(
+            Instant(time, name, kind, machine, partition, nbytes)
+        )
+
+    def annotate_last(self, **changes) -> None:
+        """Replace fields of the most recent span (frozen dataclass)."""
+        if self.spans:
+            self.spans[-1] = replace(self.spans[-1], **changes)
+
+    # -- queries -------------------------------------------------------
+    def task_spans(self) -> list[Span]:
+        """Machine-level work spans (excludes stage/iteration framing)."""
+        return [s for s in self.spans if s.machine >= 0]
+
+    def spans_of_kind(self, kind: str) -> list[Span]:
+        return [s for s in self.spans if s.kind == kind]
+
+    def machines(self) -> list[int]:
+        return sorted({s.machine for s in self.task_spans()})
+
+    @property
+    def makespan(self) -> float:
+        return max((s.end for s in self.task_spans()), default=0.0)
+
+    def stage_totals(self) -> dict[str, dict[str, float]]:
+        """Per-kind simulated totals over machine-level spans.
+
+        The reconciliation surface: these sums must equal the
+        :class:`~repro.runtime.monitor.JobMonitor` stage summary and the
+        cluster's cost counters for the same run.
+        """
+        totals: dict[str, dict[str, float]] = {}
+        for s in self.task_spans():
+            rec = totals.setdefault(s.kind, {
+                "tasks": 0.0, "seconds": 0.0, "failed": 0.0,
+                "cpu_ops": 0.0, "disk_read_bytes": 0.0,
+                "disk_write_bytes": 0.0, "net_send_bytes": 0.0,
+            })
+            rec["tasks"] += 1
+            rec["seconds"] += s.duration
+            if not s.succeeded:
+                rec["failed"] += 1
+                continue
+            # cost counters are charged on success only, mirroring the
+            # scheduler's _charge(); int-truncated like the machine
+            # counters so the totals reconcile exactly
+            rec["cpu_ops"] += s.cpu_ops
+            rec["disk_read_bytes"] += int(s.disk_read_bytes)
+            rec["disk_write_bytes"] += int(s.disk_write_bytes)
+            rec["net_send_bytes"] += int(s.net_send_bytes)
+        return totals
+
+    def wall_seconds(self) -> float:
+        """Total real Python time recorded across all spans."""
+        return sum(s.wall_self_seconds for s in self.spans)
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace (chrome://tracing, Perfetto) export
+# ----------------------------------------------------------------------
+_USEC = 1e6  # trace timestamps are microseconds; ours are sim seconds
+
+
+def chrome_trace(stream: EventStream) -> dict:
+    """Serialize a stream to the Chrome ``traceEvents`` JSON object.
+
+    Layout: pid 0 is the job ("surfer"), with one lane (tid) per
+    machine; run-level spans (stages, iterations) render on pid 1
+    ("job manager") in a single lane.  Counters ride along as ``args``
+    so clicking a slice shows its cost breakdown.  Instants (recovery
+    actions) appear as instant events on the lane of their machine.
+    """
+    events: list[dict] = []
+    events.append({"ph": "M", "pid": 0, "name": "process_name",
+                   "args": {"name": "surfer"}})
+    events.append({"ph": "M", "pid": 1, "name": "process_name",
+                   "args": {"name": "job manager"}})
+    events.append({"ph": "M", "pid": 1, "tid": 0, "name": "thread_name",
+                   "args": {"name": "stages"}})
+    for m in stream.machines():
+        events.append({"ph": "M", "pid": 0, "tid": m,
+                       "name": "thread_name",
+                       "args": {"name": f"machine {m}"}})
+    for s in stream.spans:
+        machine_level = s.machine >= 0
+        args = {
+            "kind": s.kind,
+            "succeeded": s.succeeded,
+            "cpu_ops": s.cpu_ops,
+            "disk_read_bytes": s.disk_read_bytes,
+            "disk_write_bytes": s.disk_write_bytes,
+            "net_send_bytes": s.net_send_bytes,
+            "net_recv_bytes": s.net_recv_bytes,
+            "wall_self_seconds": s.wall_self_seconds,
+        }
+        if s.partition is not None:
+            args["partition"] = s.partition
+        if s.attempt:
+            args["attempt"] = s.attempt
+        if not s.succeeded and s.planned_duration > 0:
+            args["planned_duration"] = s.planned_duration
+        events.append({
+            "name": s.name,
+            "cat": s.kind,
+            "ph": "X",
+            "pid": 0 if machine_level else 1,
+            "tid": s.machine if machine_level else 0,
+            "ts": s.start * _USEC,
+            "dur": s.duration * _USEC,
+            "args": args,
+        })
+    for ev in stream.instants:
+        args: dict = {"kind": ev.kind}
+        if ev.partition is not None:
+            args["partition"] = ev.partition
+        if ev.nbytes:
+            args["nbytes"] = ev.nbytes
+        events.append({
+            "name": ev.name,
+            "cat": ev.kind,
+            "ph": "i",
+            "s": "g" if ev.machine < 0 else "t",
+            "pid": 0 if ev.machine >= 0 else 1,
+            "tid": max(ev.machine, 0),
+            "ts": ev.time * _USEC,
+            "args": args,
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated seconds scaled to microseconds",
+            "metrics": stream.metrics.snapshot(),
+            "wall_seconds": stream.wall_seconds(),
+        },
+    }
+
+
+def write_chrome_trace(stream: EventStream, path) -> None:
+    """Write the Chrome-trace JSON for ``stream`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(stream), fh, indent=1)
+
+
+# ----------------------------------------------------------------------
+# Reconciliation: the event stream must agree with the cluster counters
+# ----------------------------------------------------------------------
+def reconcile(job, atol: float = 1e-6) -> list[str]:
+    """Cross-check a job's event stream against its cluster metrics.
+
+    Returns a list of human-readable mismatch descriptions (empty means
+    the trace reconciles).  Checks that the span-level totals — makespan,
+    disk bytes, network bytes — independently reproduce the
+    :class:`~repro.cluster.cluster.ClusterMetrics` the cluster counted
+    during the run.  Disk and network take re-replication into account:
+    the cluster charges repair reads/writes and background flows to
+    machines directly, not to any task span.
+
+    ``atol`` absorbs float truncation when tasks carry fractional byte
+    demands (the default workloads are integer-valued, so the default
+    tolerance is effectively exact).
+    """
+    stream = job.events
+    metrics = job.metrics
+    if stream is None:
+        return ["job has no event stream"]
+    problems: list[str] = []
+
+    def check(name: str, from_events: float, from_cluster: float) -> None:
+        if abs(from_events - from_cluster) > atol:
+            problems.append(
+                f"{name}: events={from_events!r} vs cluster={from_cluster!r}"
+            )
+
+    totals = stream.stage_totals()
+    registry = stream.metrics
+    re_repl = registry.get("scheduler.re_replication_bytes")
+
+    check("makespan", stream.makespan, metrics.response_time)
+    check("disk_read_bytes",
+          sum(t["disk_read_bytes"] for t in totals.values()) + re_repl
+          + registry.get("scheduler.spec_charged_disk_read_bytes"),
+          metrics.disk_read_bytes)
+    check("disk_write_bytes",
+          sum(t["disk_write_bytes"] for t in totals.values()) + re_repl
+          + registry.get("scheduler.spec_charged_disk_write_bytes"),
+          metrics.disk_write_bytes)
+    check("network_bytes",
+          sum(t["net_send_bytes"] for t in totals.values())
+          + registry.get("network.bytes_background")
+          + registry.get("scheduler.spec_charged_network_bytes"),
+          metrics.network_bytes)
+    check("network_bytes (registry)",
+          registry.get("network.bytes_total"), metrics.network_bytes)
+    check("re_replication_bytes", re_repl, metrics.re_replication_bytes)
+    return problems

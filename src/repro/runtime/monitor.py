@@ -6,6 +6,12 @@ B).  This module is the text-mode equivalent: a :class:`JobMonitor`
 summarizes a finished (or injected-fault) run's per-machine utilization,
 per-stage progress and stragglers, and :func:`estimate_progress` answers
 "how far along is the job at time t" from the execution trace.
+
+The monitor is built on the run's :class:`~repro.runtime.events.Span`
+stream when one is available (``JobMonitor.from_events``): the spans
+carry the same windows as the legacy ``TaskExecution`` view plus the
+cost counters, so the report can include the metrics-registry section.
+Both views share every analysis below.
 """
 
 from __future__ import annotations
@@ -14,9 +20,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.runtime.events import EventStream
 from repro.runtime.tasks import RecoveryEvent, TaskExecution
 
-__all__ = ["MachineUtilization", "JobMonitor", "estimate_progress"]
+__all__ = ["MachineUtilization", "JobMonitor", "estimate_progress",
+           "failed_task_seconds"]
+
+
+def _kind(e) -> str:
+    task = getattr(e, "task", None)
+    return task.kind if task is not None else e.kind
 
 
 @dataclass(frozen=True)
@@ -30,38 +43,82 @@ class MachineUtilization:
     failed_tasks: int
 
 
-def estimate_progress(executions: list[TaskExecution], now: float) -> float:
-    """Fraction of planned task-seconds finished by time ``now``.
+def estimate_progress(executions: list[TaskExecution],
+                      now: float) -> float:
+    """Fraction of dispatched task-seconds finished by time ``now``.
 
-    Mirrors the job manager's progress estimate: every task contributes
-    its duration; tasks still running at ``now`` contribute their elapsed
-    share.
+    Mirrors the job manager's progress estimate: every execution the
+    scheduler has dispatched by ``now`` contributes its duration to the
+    denominator; completed work counts fully and work still running at
+    ``now`` counts its elapsed share.  Two classes are excluded:
+
+    * executions that *start after* ``now`` — the job manager cannot
+      know about work it has not dispatched yet, and counting it made
+      early progress under-report;
+    * executions already *failed* by ``now`` — their seconds were spent
+      but produced nothing (the retry redoes the work), so counting them
+      as completed let a run report 100 % progress and then fail.
+      Failed-but-still-running work is indistinguishable from running
+      work and counts until its failure time.  The wasted seconds are
+      reported separately by :func:`failed_task_seconds`.
     """
-    total = sum(e.duration for e in executions)
-    if total <= 0:
-        return 1.0
+    total = 0.0
     done = 0.0
+    completed = 0
     for e in executions:
+        if e.start > now:
+            continue  # not dispatched yet at time `now`
+        if e.end <= now and not e.succeeded:
+            continue  # known-failed: wasted work, not progress
+        total += e.duration
         if e.end <= now:
             done += e.duration
-        elif e.start < now:
+            completed += 1
+        else:
             done += now - e.start
+    if total <= 0:
+        # no measurable task-seconds: either only zero-duration work
+        # completed (done), or nothing has been dispatched/succeeded yet
+        if completed:
+            return 1.0
+        return 1.0 if not executions else 0.0
     return min(1.0, done / total)
+
+
+def failed_task_seconds(executions: list[TaskExecution],
+                        now: float = float("inf")) -> float:
+    """Task-seconds lost to executions that had failed by ``now``."""
+    return sum(e.duration for e in executions
+               if e.end <= now and not e.succeeded)
 
 
 class JobMonitor:
     """Post-hoc analysis of a job's execution trace.
 
-    ``recovery_events`` (optional) is the scheduler's structured stream of
-    fault-recovery actions; when given, the report includes a recovery
-    section (detections, re-dispatches, speculative launches/cancels,
-    re-replication traffic).
+    ``recovery_events`` (optional) is the scheduler's structured stream
+    of fault-recovery actions; when given, the report includes a
+    recovery section (detections, re-dispatches, speculative
+    launches/cancels, re-replication traffic).  ``events`` (optional) is
+    the run's :class:`~repro.runtime.events.EventStream`; when given,
+    ``executions`` may be omitted (the machine-level spans stand in) and
+    the report gains the metrics-registry section.
     """
 
-    def __init__(self, executions: list[TaskExecution],
-                 recovery_events: list[RecoveryEvent] | None = None):
+    def __init__(self, executions: list[TaskExecution] | None = None,
+                 recovery_events: list[RecoveryEvent] | None = None,
+                 events: EventStream | None = None):
+        if executions is None:
+            executions = events.task_spans() if events is not None else []
         self.executions = list(executions)
         self.recovery_events = list(recovery_events or [])
+        self.events = events
+
+    @classmethod
+    def from_events(cls, events: EventStream,
+                    recovery_events: list[RecoveryEvent] | None = None,
+                    ) -> "JobMonitor":
+        """A monitor over an event stream's machine-level spans."""
+        return cls(recovery_events=recovery_events, events=events)
 
     @property
     def makespan(self) -> float:
@@ -107,13 +164,17 @@ class JobMonitor:
         stages: dict[str, dict[str, float]] = {}
         for e in self.executions:
             rec = stages.setdefault(
-                e.task.kind, {"tasks": 0.0, "seconds": 0.0, "failed": 0.0}
+                _kind(e), {"tasks": 0.0, "seconds": 0.0, "failed": 0.0}
             )
             rec["tasks"] += 1
             rec["seconds"] += e.duration
             if not e.succeeded:
                 rec["failed"] += 1
         return stages
+
+    def failed_seconds(self) -> float:
+        """Total task-seconds lost to failed executions."""
+        return failed_task_seconds(self.executions)
 
     def recovery_summary(self) -> dict[str, int]:
         """Count of recovery events per kind (empty without fault plan)."""
@@ -138,6 +199,9 @@ class JobMonitor:
                 + (f"  ({int(rec['failed'])} failed)"
                    if rec["failed"] else "")
             )
+        failed = self.failed_seconds()
+        if failed:
+            lines.append(f"wasted (failed-task) time: {failed:,.1f}s")
         stats = self.machine_utilization()
         if stats:
             utils = [s.utilization for s in stats]
@@ -160,4 +224,6 @@ class JobMonitor:
                 lines.append(
                     f"re-replication traffic: {repair:,} bytes"
                 )
+        if self.events is not None and self.events.metrics.counters:
+            lines.append(self.events.metrics.report())
         return "\n".join(lines)

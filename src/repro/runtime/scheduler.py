@@ -34,12 +34,14 @@ time via :meth:`FaultPlan.advance`.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
 from repro.errors import DataLossError, SchedulingError
 from repro.cluster.cluster import Cluster
 from repro.cluster.faults import FaultPlan, Outage
 from repro.cluster.storage import PartitionStore
+from repro.runtime.events import EventStream, Span
 from repro.runtime.tasks import (
     RecoveryEvent,
     StageResult,
@@ -58,6 +60,38 @@ SPECULATION_FACTOR = 2.0
 MAX_RETRIES = 5
 
 
+def _execution_span(e: TaskExecution) -> Span:
+    """One observability span per task execution.
+
+    ``net_send_bytes`` is the traffic this task puts on the wire (its
+    non-local sends plus its remote input fetches — both directions the
+    scheduler charges to the network); ``net_recv_bytes`` is the inbound
+    NIC occupancy (receives plus fetches).  Counters mirror the task's
+    dispatched demands; the charged fraction of a failed span is
+    ``duration / planned_duration``.
+    """
+    task = e.task
+    sends = sum(b for dst, b in task.sends if dst != e.machine)
+    fetches = sum(b for src, b in task.fetches if src != e.machine)
+    receives = sum(b for src, b in task.receives if src != e.machine)
+    return Span(
+        name=task.name,
+        kind=task.kind,
+        start=e.start,
+        end=e.end,
+        machine=e.machine,
+        partition=task.partition,
+        succeeded=e.succeeded,
+        attempt=task.attempt,
+        cpu_ops=task.cpu_ops,
+        disk_read_bytes=task.disk_read_bytes,
+        disk_write_bytes=task.disk_write_bytes,
+        net_send_bytes=sends + fetches,
+        net_recv_bytes=receives + fetches,
+        planned_duration=e.planned_duration,
+    )
+
+
 class StageScheduler:
     """Executes stages of tasks on a cluster, with optional fault plan."""
 
@@ -72,6 +106,7 @@ class StageScheduler:
         speculation_factor: float = SPECULATION_FACTOR,
         max_retries: int = MAX_RETRIES,
         re_replication: bool = True,
+        events: EventStream | None = None,
     ):
         """``pipelined=True`` overlaps consecutive tasks' phases on a
         machine: while one task's output streams over the network, the
@@ -97,16 +132,19 @@ class StageScheduler:
         self.speculation_factor = speculation_factor
         self.max_retries = max_retries
         self.re_replication = re_replication
+        self.events = events if events is not None else EventStream()
         self.executions: list[TaskExecution] = []
         self.recovery_events: list[RecoveryEvent] = []
         self.re_replication_bytes = 0
         self.data_loss: str | None = None
         self._stage_users: dict = {}
         self._seen_outages: set[tuple[int, float]] = set()
+        self._stage_index = 0
 
     # ------------------------------------------------------------------
     def run_stage(self, tasks: list[Task]) -> StageResult:
         """Run ``tasks`` to completion and barrier all machine clocks."""
+        wall_start = time.perf_counter()
         start_time = max(
             (m.clock for m in self.cluster.machines), default=0.0
         )
@@ -157,6 +195,8 @@ class StageScheduler:
             if m.alive:
                 m.clock = max(m.clock, end_time)
         self.executions.extend(stage_execs)
+        self._record_stage(tasks, stage_execs, start_time, end_time,
+                           failures, time.perf_counter() - wall_start)
         return StageResult(
             executions=stage_execs,
             start_time=start_time,
@@ -182,12 +222,41 @@ class StageScheduler:
         return results
 
     # ------------------------------------------------------------------
+    def _record_stage(self, tasks: list[Task],
+                      stage_execs: list[TaskExecution],
+                      start_time: float, end_time: float,
+                      failures: int, wall_seconds: float) -> None:
+        """Emit one stage span plus one span per task execution."""
+        stream = self.events
+        metrics = stream.metrics
+        kinds = "+".join(sorted({t.kind for t in tasks})) or "empty"
+        for e in stage_execs:
+            stream.span(_execution_span(e))
+            if e.succeeded:
+                metrics.add("scheduler.tasks_executed")
+            else:
+                metrics.add("scheduler.task_failures")
+        metrics.add("scheduler.stages")
+        metrics.add("scheduler.retries", failures)
+        metrics.add("scheduler.wall_seconds", wall_seconds)
+        stream.span(Span(
+            name=f"stage[{self._stage_index}] {kinds}",
+            kind="stage",
+            start=start_time,
+            end=end_time,
+            wall_self_seconds=wall_seconds,
+        ))
+        self._stage_index += 1
+
     def _event(self, time: float, kind: str, machine: int,
                task: str | None = None, partition: int | None = None,
                nbytes: int = 0) -> None:
         self.recovery_events.append(
             RecoveryEvent(time, kind, machine, task, partition, nbytes)
         )
+        self.events.instant(time, task if task is not None else kind,
+                            kind, machine, partition, nbytes)
+        self.events.metrics.add(f"recovery.{kind}")
 
     def _fail_over(self, machine_id: int, tasks, at: float,
                    failed: deque) -> None:
@@ -241,11 +310,14 @@ class StageScheduler:
             end = plan.advance(machine_id, start, duration)
             if outage is not None and end > outage.start:
                 # Task dies mid-flight; time up to the outage is wasted.
+                # The execution records the full dispatched duration so
+                # trace analysis can prorate bytes over the partial run.
                 machine.busy_time += outage.start - start
                 machine.clock = outage.start
                 stage_execs.append(
                     TaskExecution(task, machine_id, start,
-                                  outage.start, False)
+                                  outage.start, False,
+                                  planned_duration=end - start)
                 )
                 if outage.permanent:
                     self._mark_dead(machine_id, outage.start)
@@ -263,7 +335,8 @@ class StageScheduler:
             machine.busy_time += end - start
             machine.tasks_executed += 1
             stage_execs.append(
-                TaskExecution(task, machine_id, start, end, True)
+                TaskExecution(task, machine_id, start, end, True,
+                              planned_duration=end - start)
             )
 
     def _drain_queue_pipelined(
@@ -340,7 +413,8 @@ class StageScheduler:
                 machine.clock = max(machine.clock, outage.start)
                 stage_execs.append(
                     TaskExecution(task, machine_id, arrival,
-                                  outage.start, False)
+                                  outage.start, False,
+                                  planned_duration=write_end - arrival)
                 )
                 if outage.permanent:
                     self._mark_dead(machine_id, outage.start)
@@ -362,7 +436,8 @@ class StageScheduler:
             machine.busy_time += duration
             machine.tasks_executed += 1
             stage_execs.append(
-                TaskExecution(task, machine_id, arrival, write_end, True)
+                TaskExecution(task, machine_id, arrival, write_end, True,
+                              planned_duration=write_end - arrival)
             )
 
     # ------------------------------------------------------------------
@@ -459,6 +534,8 @@ class StageScheduler:
                 dst_m.disk_write_bytes += nbytes
                 dst_m.bytes_received += nbytes
             self.re_replication_bytes += nbytes
+            self.events.metrics.add("scheduler.re_replication_bytes",
+                                    nbytes)
             self._event(now, "re-replicate", dst, partition=p,
                         nbytes=nbytes)
 
@@ -572,14 +649,29 @@ class StageScheduler:
             holder.busy_time += b_end - b_start
             holder.tasks_executed += 1
             stage_execs.append(
-                TaskExecution(backup, backup_machine, b_start, b_end, True)
+                TaskExecution(backup, backup_machine, b_start, b_end, True,
+                              planned_duration=b_end - b_start)
             )
             original = self.cluster.machine(e.machine)
             original.busy_time -= e.end - b_end
             original.clock = b_end
             idx = next(i for i, x in enumerate(stage_execs) if x is e)
-            stage_execs[idx] = TaskExecution(task, e.machine, e.start,
-                                             b_end, False)
+            stage_execs[idx] = TaskExecution(
+                task, e.machine, e.start, b_end, False,
+                planned_duration=e.planned_duration or e.duration,
+            )
+            # The original was charged in full when it completed, before
+            # the rescue was decided; the cancellation does not refund
+            # the machine counters.  Expose that charged-but-cancelled
+            # cost so span totals still reconcile with the cluster.
+            m = self.events.metrics
+            m.add("scheduler.spec_charged_disk_read_bytes",
+                  int(task.disk_read_bytes))
+            m.add("scheduler.spec_charged_disk_write_bytes",
+                  int(task.disk_write_bytes))
+            m.add("scheduler.spec_charged_network_bytes",
+                  sum(int(b) for d, b in task.sends if d != e.machine)
+                  + sum(int(b) for s, b in task.fetches if s != e.machine))
             self._event(b_end, "spec-win", backup_machine,
                         task=backup.name, partition=task.partition)
             self._event(b_end, "spec-cancel", e.machine, task=task.name,
@@ -592,7 +684,7 @@ class StageScheduler:
             holder.busy_time += e.end - b_start
             stage_execs.append(
                 TaskExecution(backup, backup_machine, b_start, e.end,
-                              False)
+                              False, planned_duration=b_end - b_start)
             )
             self._event(e.end, "spec-cancel", backup_machine,
                         task=backup.name, partition=task.partition)

@@ -57,13 +57,23 @@ class Task:
 
 @dataclass(frozen=True)
 class TaskExecution:
-    """A (possibly failed) run of a task on a machine."""
+    """A (possibly failed) run of a task on a machine.
+
+    ``planned_duration`` is the full duration the scheduler dispatched
+    the task with (slowdown-stretched), recorded at dispatch time.  For
+    successful executions it equals ``duration``; for executions cut
+    short by a fault it is the duration the task *would* have had, which
+    is what byte proration over the partial window must divide by.
+    ``0.0`` (the default, for hand-built executions) means unknown —
+    consumers fall back to ``duration``.
+    """
 
     task: Task
     machine: int
     start: float
     end: float
     succeeded: bool
+    planned_duration: float = 0.0
 
     @property
     def duration(self) -> float:

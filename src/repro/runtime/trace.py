@@ -7,6 +7,13 @@ over its execution window and sampling on a fixed-width grid.  The
 structured :class:`~repro.runtime.tasks.RecoveryEvent` stream the
 scheduler emits gets the same treatment: per-bucket event counts and
 re-replication byte totals.
+
+Every timeline accepts either the legacy
+:class:`~repro.runtime.tasks.TaskExecution` list or the machine-level
+:class:`~repro.runtime.events.Span` list of an
+:class:`~repro.runtime.events.EventStream` — the analyses are built on
+the shared windows (machine, start, end, bytes, planned duration) both
+carry.
 """
 
 from __future__ import annotations
@@ -17,6 +24,19 @@ from repro.runtime.tasks import RecoveryEvent, TaskExecution
 
 __all__ = ["io_rate_timeline", "machine_timeline", "recovery_timeline",
            "recovery_event_counts"]
+
+
+def _task_name(e) -> str:
+    task = getattr(e, "task", None)
+    return task.name if task is not None else e.name
+
+
+def _disk_bytes(e) -> float:
+    """Read+write disk bytes of an execution or span."""
+    task = getattr(e, "task", None)
+    if task is not None:
+        return task.disk_read_bytes + task.disk_write_bytes
+    return e.disk_read_bytes + e.disk_write_bytes
 
 
 def io_rate_timeline(
@@ -39,7 +59,7 @@ def io_rate_timeline(
     num_buckets = int(np.ceil(horizon / bucket_seconds)) or 1
     bytes_per_bucket = np.zeros(num_buckets)
     for e in executions:
-        total_bytes = e.task.disk_read_bytes + e.task.disk_write_bytes
+        total_bytes = _disk_bytes(e)
         planned = _planned_duration(e)
         if planned > 0 and e.duration < planned:
             total_bytes *= e.duration / planned
@@ -60,13 +80,19 @@ def io_rate_timeline(
     return times, bytes_per_bucket / bucket_seconds
 
 
-def _planned_duration(execution: TaskExecution) -> float:
-    """Duration the task would have had if it ran to completion."""
+def _planned_duration(execution) -> float:
+    """Duration the task would have had if it ran to completion.
+
+    The scheduler records the full dispatched duration on every
+    execution; a failed (killed/cancelled) task then prorates its bytes
+    over the partial window it actually ran.  Hand-built executions
+    without the recorded plan fall back to the observed duration
+    (no proration).
+    """
     if execution.succeeded:
         return execution.duration
-    # Failed executions ran only part of the plan; we cannot recover the
-    # plan exactly without the machine spec, so approximate with duration.
-    return execution.duration
+    planned = getattr(execution, "planned_duration", 0.0)
+    return planned if planned > 0 else execution.duration
 
 
 def recovery_event_counts(
@@ -113,6 +139,6 @@ def machine_timeline(
     timeline: dict[int, list[tuple[float, float, str, bool]]] = {}
     for e in sorted(executions, key=lambda e: (e.machine, e.start)):
         timeline.setdefault(e.machine, []).append(
-            (e.start, e.end, e.task.name, e.succeeded)
+            (e.start, e.end, _task_name(e), e.succeeded)
         )
     return timeline

@@ -1,0 +1,465 @@
+"""Tests for the observability layer: spans, metrics, Chrome traces,
+reconciliation, bench JSON and the None-transfer cost contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_REGISTRY
+from repro.bench.benchjson import (
+    RECORD_FIELDS,
+    SCHEMA,
+    job_record,
+    load_bench_json,
+    validate_bench_json,
+    write_bench_json,
+)
+from repro.bench.workloads import make_cluster
+from repro.cluster.faults import FaultPlan, MachineKill
+from repro.cluster.topology import t2
+from repro.core import Surfer
+from repro.errors import JobError
+from repro.graph.generators import composite_social_graph
+from repro.propagation.api import PropagationApp
+from repro.runtime.events import (
+    EventStream,
+    MetricsRegistry,
+    Span,
+    chrome_trace,
+    reconcile,
+    write_chrome_trace,
+)
+from repro.runtime.monitor import (
+    JobMonitor,
+    estimate_progress,
+    failed_task_seconds,
+)
+from repro.runtime.tasks import Task, TaskExecution
+
+
+def small_surfer(seed=0, machines=8, parts=16):
+    graph = composite_social_graph(num_communities=8, community_size=96,
+                                   seed=seed)
+    cluster = make_cluster(t2(2, 1, machines, 200e6))
+    return Surfer(graph, cluster, num_parts=parts, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def nr_job():
+    surfer = small_surfer()
+    prop_cls, __, __ = APP_REGISTRY["NR"]
+    return surfer.run_propagation(prop_cls(), iterations=2)
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry / EventStream units
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        m = MetricsRegistry()
+        m.add("a.b")
+        m.add("a.b", 2.5)
+        assert m.get("a.b") == 3.5
+        assert m.get("missing") == 0.0
+        assert m.get("missing", 7.0) == 7.0
+
+    def test_gauges_overwrite(self):
+        m = MetricsRegistry()
+        m.set_gauge("g", 1.0)
+        m.set_gauge("g", 4.0)
+        assert m.get("g") == 4.0
+
+    def test_snapshot_and_report(self):
+        m = MetricsRegistry()
+        m.add("z.count", 2)
+        m.set_gauge("u", 0.5)
+        snap = m.snapshot()
+        assert snap == {"z.count": 2.0, "gauge:u": 0.5}
+        text = m.report()
+        assert "z.count" in text and "(gauge)" in text
+
+
+class TestEventStream:
+    def test_task_spans_exclude_run_level(self):
+        s = EventStream()
+        s.emit(name="t", kind="transfer", start=0.0, end=1.0, machine=2)
+        s.emit(name="stage[0]", kind="stage", start=0.0, end=1.0)
+        assert len(s.task_spans()) == 1
+        assert s.machines() == [2]
+        assert s.makespan == 1.0
+
+    def test_empty_stream(self):
+        s = EventStream()
+        assert s.task_spans() == []
+        assert s.machines() == []
+        assert s.makespan == 0.0
+        assert s.stage_totals() == {}
+        assert s.wall_seconds() == 0.0
+
+    def test_annotate_last(self):
+        s = EventStream()
+        s.emit(name="t", kind="k", start=0.0, end=1.0, machine=0)
+        s.annotate_last(wall_self_seconds=0.25)
+        assert s.spans[-1].wall_self_seconds == 0.25
+
+    def test_stage_totals_skip_failed_cost(self):
+        s = EventStream()
+        s.emit(name="ok", kind="transfer", start=0.0, end=2.0, machine=0,
+               cpu_ops=10.0, disk_read_bytes=100.9)
+        s.emit(name="bad", kind="transfer", start=0.0, end=1.0, machine=1,
+               succeeded=False, cpu_ops=99.0, disk_read_bytes=500.0)
+        totals = s.stage_totals()["transfer"]
+        assert totals["tasks"] == 2
+        assert totals["failed"] == 1
+        assert totals["seconds"] == pytest.approx(3.0)
+        # failed cost is excluded; bytes are int-truncated like the
+        # cluster machine counters
+        assert totals["cpu_ops"] == 10.0
+        assert totals["disk_read_bytes"] == 100
+
+
+# ----------------------------------------------------------------------
+# Progress estimation (the fixed semantics)
+# ----------------------------------------------------------------------
+def _exec(start, end, succeeded=True, machine=0):
+    task = Task("t", machine=machine)
+    return TaskExecution(task, machine, start, end, succeeded)
+
+
+class TestEstimateProgress:
+    def test_failed_work_not_counted_as_progress(self):
+        execs = [_exec(0.0, 10.0, succeeded=False),
+                 _exec(10.0, 20.0)]
+        # at t=10 the only finished execution failed: nothing is done,
+        # and the retry (dispatched at 10) has not progressed yet
+        assert estimate_progress(execs, 10.0) == 0.0
+        assert estimate_progress(execs, 15.0) == pytest.approx(0.5)
+        assert estimate_progress(execs, 20.0) == 1.0
+
+    def test_future_executions_ignored(self):
+        execs = [_exec(0.0, 10.0), _exec(50.0, 60.0)]
+        # at t=10 the job manager has dispatched only the first task
+        assert estimate_progress(execs, 10.0) == 1.0
+
+    def test_failure_indistinguishable_while_running(self):
+        execs = [_exec(0.0, 10.0, succeeded=False)]
+        # failure is only known at its end
+        assert estimate_progress(execs, 5.0) == pytest.approx(0.5)
+        assert estimate_progress(execs, 10.0) == 0.0
+
+    def test_empty_and_all_failed(self):
+        assert estimate_progress([], 5.0) == 1.0
+        failed = [_exec(0.0, 10.0, succeeded=False)]
+        assert estimate_progress(failed, 20.0) == 0.0
+
+    def test_zero_duration_executions(self):
+        execs = [_exec(3.0, 3.0)]
+        assert estimate_progress(execs, 2.0) == 0.0
+        assert estimate_progress(execs, 3.0) == 1.0
+
+    def test_failed_task_seconds(self):
+        execs = [_exec(0.0, 10.0, succeeded=False),
+                 _exec(10.0, 25.0),
+                 _exec(25.0, 30.0, succeeded=False)]
+        assert failed_task_seconds(execs) == pytest.approx(15.0)
+        assert failed_task_seconds(execs, now=12.0) == pytest.approx(10.0)
+
+
+# ----------------------------------------------------------------------
+# Job-level span emission and the monitor built on it
+# ----------------------------------------------------------------------
+class TestJobEvents:
+    def test_spans_cover_every_execution(self, nr_job):
+        stream = nr_job.events
+        assert stream is not None
+        assert len(stream.task_spans()) == len(nr_job.executions)
+        kinds = {s.kind for s in stream.task_spans()}
+        assert kinds == {"transfer", "combine"}
+
+    def test_stage_and_iteration_spans(self, nr_job):
+        stream = nr_job.events
+        stages = stream.spans_of_kind("stage")
+        iters = stream.spans_of_kind("iteration")
+        assert len(stages) == stream.metrics.get("scheduler.stages") == 4
+        assert len(iters) == stream.metrics.get("propagation.iterations") == 2
+        # framing spans live on no machine
+        assert all(s.machine == -1 for s in stages + iters)
+
+    def test_metrics_registry_populated(self, nr_job):
+        m = nr_job.events.metrics
+        assert m.get("scheduler.tasks_executed") == len(nr_job.executions)
+        assert m.get("network.bytes_total") == nr_job.metrics.network_bytes
+        emitted = sum(r.messages_emitted for r in nr_job.reports)
+        assert m.get("propagation.messages_emitted") == emitted
+
+    def test_wall_clock_recorded(self, nr_job):
+        assert nr_job.events.wall_seconds() > 0.0
+        assert nr_job.events.metrics.get("wall.udf_seconds") > 0.0
+
+    def test_monitor_from_events_matches_executions(self, nr_job):
+        from_execs = JobMonitor(nr_job.executions)
+        from_spans = JobMonitor.from_events(nr_job.events)
+        assert from_spans.makespan == from_execs.makespan
+        assert from_spans.stage_summary() == from_execs.stage_summary()
+        assert ([u.busy_seconds for u in from_spans.machine_utilization()]
+                == [u.busy_seconds for u in from_execs.machine_utilization()])
+
+    def test_report_includes_metrics_section(self, nr_job):
+        text = JobMonitor.from_events(nr_job.events).report()
+        assert "metrics:" in text
+        assert "network.bytes_total" in text
+
+    def test_streams_are_per_job(self):
+        surfer = small_surfer()
+        prop_cls, __, __ = APP_REGISTRY["NR"]
+        job1 = surfer.run_propagation(prop_cls(), iterations=1)
+        count1 = job1.events.metrics.get("network.bytes_total")
+        job2 = surfer.run_propagation(prop_cls(), iterations=1)
+        # the first job's stream stayed frozen while the second ran
+        assert job1.events.metrics.get("network.bytes_total") == count1
+        assert job2.events is not job1.events
+
+
+# ----------------------------------------------------------------------
+# Reconciliation: span totals == cluster counters
+# ----------------------------------------------------------------------
+class TestReconciliation:
+    def test_plain_propagation(self, nr_job):
+        assert reconcile(nr_job) == []
+
+    def test_mapreduce(self):
+        surfer = small_surfer()
+        __, mr_cls, __ = APP_REGISTRY["NR"]
+        job = surfer.run_mapreduce(mr_cls(), rounds=2)
+        assert reconcile(job) == []
+
+    def test_machine_kill_with_re_replication(self):
+        surfer = small_surfer(seed=3)
+        prop_cls, __, __ = APP_REGISTRY["NR"]
+        plan = FaultPlan(kills=[MachineKill(machine=2, time=5.0)])
+        job = surfer.run_propagation(prop_cls(), iterations=3,
+                                     fault_plan=plan)
+        assert job.recovery_events, "fault plan should trigger recovery"
+        assert reconcile(job) == []
+
+    @pytest.mark.parametrize("pipelined", [False, True])
+    def test_speculation_and_transients(self, pipelined):
+        surfer = small_surfer(seed=5)
+        prop_cls, __, __ = APP_REGISTRY["NR"]
+        plan = FaultPlan()
+        plan.add_transient(1, 3.0, 4.0)
+        plan.add_slowdown(3, 0.0, 1e9, 3.0)
+        job = surfer.run_propagation(prop_cls(), iterations=3,
+                                     fault_plan=plan, pipelined=pipelined,
+                                     speculation=True)
+        assert reconcile(job) == []
+
+    def test_recovery_instants_mirror_events(self):
+        surfer = small_surfer(seed=3)
+        prop_cls, __, __ = APP_REGISTRY["NR"]
+        plan = FaultPlan(kills=[MachineKill(machine=2, time=5.0)])
+        job = surfer.run_propagation(prop_cls(), iterations=3,
+                                     fault_plan=plan)
+        assert len(job.events.instants) == len(job.recovery_events)
+        kinds = {i.kind for i in job.events.instants}
+        assert kinds == {ev.kind for ev in job.recovery_events}
+        for kind in kinds:
+            assert job.events.metrics.get(f"recovery.{kind}") == sum(
+                1 for ev in job.recovery_events if ev.kind == kind
+            )
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace export
+# ----------------------------------------------------------------------
+class TestChromeTrace:
+    def test_round_trip_valid_json(self, nr_job, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(nr_job.events, path)
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["otherData"]["metrics"] == \
+            nr_job.events.metrics.snapshot()
+
+    def test_spans_monotonic_and_bounded(self, nr_job):
+        doc = chrome_trace(nr_job.events)
+        horizon = nr_job.events.makespan * 1e6
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == len(nr_job.events.spans)
+        for e in slices:
+            assert e["dur"] >= 0.0
+            assert 0.0 <= e["ts"] <= horizon
+            assert e["ts"] + e["dur"] <= horizon + 1e-6
+
+    def test_one_lane_per_machine(self, nr_job):
+        doc = chrome_trace(nr_job.events)
+        lanes = {e["tid"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"
+                 and e["pid"] == 0}
+        assert sorted(lanes) == nr_job.events.machines()
+        # every machine-level slice rides a declared lane
+        for e in doc["traceEvents"]:
+            if e["ph"] == "X" and e["pid"] == 0:
+                assert e["tid"] in lanes
+
+    def test_run_level_spans_on_job_manager_pid(self, nr_job):
+        doc = chrome_trace(nr_job.events)
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["pid"] == 1}
+        assert any(n.startswith("stage[") for n in names)
+        assert any(n.startswith("iteration[") for n in names)
+
+    def test_instants_exported(self):
+        surfer = small_surfer(seed=3)
+        prop_cls, __, __ = APP_REGISTRY["NR"]
+        plan = FaultPlan(kills=[MachineKill(machine=2, time=5.0)])
+        job = surfer.run_propagation(prop_cls(), iterations=2,
+                                     fault_plan=plan)
+        doc = chrome_trace(job.events)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(job.events.instants)
+        assert all(e["s"] in ("t", "g") for e in instants)
+
+
+# ----------------------------------------------------------------------
+# Bench JSON
+# ----------------------------------------------------------------------
+class TestBenchJson:
+    def test_job_record_fields(self, nr_job):
+        rec = job_record(nr_job, wall_clock_s=1.5)
+        assert set(rec) == set(RECORD_FIELDS)
+        assert rec["makespan_s"] == pytest.approx(
+            nr_job.metrics.response_time)
+        assert rec["network_bytes"] == nr_job.metrics.network_bytes
+        assert rec["tasks"] == len(nr_job.executions)
+        assert rec["wall_clock_s"] == 1.5
+
+    def test_write_load_round_trip(self, nr_job, tmp_path):
+        path = tmp_path / "bench.json"
+        doc = write_bench_json(path, {"w": job_record(nr_job, 0.1)})
+        loaded = load_bench_json(path)
+        assert loaded == doc
+        assert loaded["schema"] == SCHEMA
+        assert validate_bench_json(loaded) == []
+
+    def test_validate_rejects_bad_documents(self, nr_job):
+        rec = job_record(nr_job, 0.1)
+        assert validate_bench_json("nope")
+        assert validate_bench_json({"schema": "other/v9", "pr": "PR3",
+                                    "workloads": {"w": rec}})
+        assert validate_bench_json({"schema": SCHEMA, "pr": "",
+                                    "workloads": {"w": rec}})
+        assert validate_bench_json({"schema": SCHEMA, "pr": "PR3",
+                                    "workloads": {}})
+        missing = {k: v for k, v in rec.items() if k != "makespan_s"}
+        assert validate_bench_json({"schema": SCHEMA, "pr": "PR3",
+                                    "workloads": {"w": missing}})
+        extra = dict(rec, bogus=1)
+        assert validate_bench_json({"schema": SCHEMA, "pr": "PR3",
+                                    "workloads": {"w": extra}})
+        negative = dict(rec, network_bytes=-1)
+        assert validate_bench_json({"schema": SCHEMA, "pr": "PR3",
+                                    "workloads": {"w": negative}})
+        stringy = dict(rec, tasks="many")
+        assert validate_bench_json({"schema": SCHEMA, "pr": "PR3",
+                                    "workloads": {"w": stringy}})
+
+    def test_write_refuses_invalid(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench_json(tmp_path / "bad.json", {"w": {"nope": 1}})
+
+
+# ----------------------------------------------------------------------
+# The None-transfer cost contract (scalar vs vectorized Transfer)
+# ----------------------------------------------------------------------
+class _State:
+    def __init__(self):
+        self.values = {}
+
+
+class DroppingApp(PropagationApp):
+    """Scalar transfer returns None for odd-parity edges.
+
+    Such apps cannot express their transfer as ``transfer_array`` — the
+    fast path has no per-edge None — so the base class (correctly)
+    declines the fast path by not implementing the hook.
+    """
+
+    name = "dropping"
+
+    def setup(self, pgraph):
+        return _State()
+
+    def transfer(self, u, v, state):
+        return float(u) if (u + v) % 2 == 0 else None
+
+    def combine(self, v, values, state):
+        return sum(values)
+
+
+class DecliningApp(DroppingApp):
+    """Implements the hook but honours the contract by declining."""
+
+    name = "declining"
+
+    def transfer_array(self, src, dst, state):
+        return None  # cannot express per-edge None: decline
+
+
+class ViolatingApp(DroppingApp):
+    """Breaks the contract: vectorizes a None-returning transfer by
+    substituting 0.0 — the divergence this class exists to expose."""
+
+    name = "violating"
+
+    def transfer_array(self, src, dst, state):
+        return np.where((src + dst) % 2 == 0, src.astype(float), 0.0)
+
+
+class TestNoneTransferContract:
+    """Pins the contract documented on ``PropagationApp.transfer_array``:
+    apps whose scalar ``transfer`` may return None MUST decline the fast
+    path, because the two paths' cost accounting (and routing) only
+    coincide when every scanned edge routes a message."""
+
+    def _run(self, app, vectorized):
+        surfer = small_surfer(machines=4, parts=8)
+        return surfer.run_propagation(app, iterations=1,
+                                      vectorized=vectorized)
+
+    @staticmethod
+    def _sim_counters(stream):
+        """Counters minus real wall-clock time (nondeterministic)."""
+        return {k: v for k, v in stream.metrics.counters.items()
+                if "wall" not in k}
+
+    def test_declining_app_matches_scalar_oracle(self):
+        oracle = self._run(DecliningApp(), vectorized=False)
+        fallback = self._run(DecliningApp(), vectorized=None)
+        assert fallback.result.values == oracle.result.values
+        assert (fallback.events.stage_totals()
+                == oracle.events.stage_totals())
+        assert (self._sim_counters(fallback.events)
+                == self._sim_counters(oracle.events))
+
+    def test_declining_app_cannot_be_forced_vectorized(self):
+        surfer = small_surfer(machines=4, parts=8)
+        with pytest.raises(JobError):
+            surfer.run_propagation(DecliningApp(), iterations=1,
+                                   vectorized=True)
+
+    def test_violation_diverges_messages_and_cpu(self):
+        scalar = self._run(DroppingApp(), vectorized=False)
+        violated = self._run(ViolatingApp(), vectorized=None)
+        s_m = scalar.events.metrics
+        v_m = violated.events.metrics
+        # scalar routes only the non-None edges; the violating fast path
+        # "routes" every scanned edge
+        assert (v_m.get("propagation.messages_emitted")
+                > s_m.get("propagation.messages_emitted"))
+        # scalar charges edges_scanned + messages_routed; the fast path
+        # charges 2 per scanned edge — more, since some edges drop
+        s_cpu = scalar.events.stage_totals()["transfer"]["cpu_ops"]
+        v_cpu = violated.events.stage_totals()["transfer"]["cpu_ops"]
+        assert v_cpu > s_cpu

@@ -3,15 +3,21 @@
 import numpy as np
 import pytest
 
-from repro.runtime.tasks import Task, TaskExecution
-from repro.runtime.trace import io_rate_timeline, machine_timeline
+from repro.runtime.events import Span
+from repro.runtime.tasks import RecoveryEvent, Task, TaskExecution
+from repro.runtime.trace import (
+    io_rate_timeline,
+    machine_timeline,
+    recovery_timeline,
+)
 
 
 def execution(machine, start, end, read=0.0, write=0.0, succeeded=True,
-              name="t"):
+              name="t", planned=0.0):
     task = Task(name, machine=machine, disk_read_bytes=read,
                 disk_write_bytes=write)
-    return TaskExecution(task, machine, start, end, succeeded)
+    return TaskExecution(task, machine, start, end, succeeded,
+                         planned_duration=planned)
 
 
 class TestIoRateTimeline:
@@ -48,6 +54,69 @@ class TestIoRateTimeline:
             io_rate_timeline([], 0.0)
 
 
+class TestFailedTaskProration:
+    """A killed task's bytes must prorate over the window it ran."""
+
+    def test_failed_task_prorates_with_recorded_plan(self):
+        # dispatched for 10s of 100 bytes, killed after 5s: 50 bytes land
+        execs = [execution(0, 0.0, 5.0, read=100.0, succeeded=False,
+                           planned=10.0)]
+        __, rates = io_rate_timeline(execs, bucket_seconds=5.0)
+        assert (rates * 5.0).sum() == pytest.approx(50.0)
+
+    def test_hand_built_execution_falls_back_to_duration(self):
+        # no recorded plan (planned_duration=0): no proration possible,
+        # the full bytes spread over the observed window
+        execs = [execution(0, 0.0, 5.0, read=100.0, succeeded=False)]
+        __, rates = io_rate_timeline(execs, bucket_seconds=5.0)
+        assert (rates * 5.0).sum() == pytest.approx(100.0)
+
+    def test_succeeded_task_never_prorates(self):
+        # a successful pipelined task can have duration != planned;
+        # its bytes all moved regardless
+        execs = [execution(0, 0.0, 5.0, read=100.0, planned=8.0)]
+        __, rates = io_rate_timeline(execs, bucket_seconds=5.0)
+        assert (rates * 5.0).sum() == pytest.approx(100.0)
+
+    def test_span_view_prorates_identically(self):
+        span = Span(name="t", kind="transfer", start=0.0, end=5.0,
+                    machine=0, succeeded=False, disk_read_bytes=100.0,
+                    planned_duration=10.0)
+        __, rates = io_rate_timeline([span], bucket_seconds=5.0)
+        assert (rates * 5.0).sum() == pytest.approx(50.0)
+
+
+class TestRecoveryTimeline:
+    def test_bucket_boundaries(self):
+        events = [RecoveryEvent(0.0, "detect", 0),
+                  RecoveryEvent(9.999, "detect", 0),
+                  RecoveryEvent(10.0, "redispatch", 1),
+                  RecoveryEvent(20.0, "redispatch", 1)]
+        times, series = recovery_timeline(events, bucket_seconds=10.0)
+        assert list(times) == [0.0, 10.0]
+        # [0, 10) holds the first two; an event exactly on the horizon
+        # clamps into the last bucket rather than creating a new one
+        assert list(series["detect"]) == [2.0, 0.0]
+        assert list(series["redispatch"]) == [0.0, 2.0]
+
+    def test_total_events_conserved(self):
+        events = [RecoveryEvent(t, "detect", 0)
+                  for t in (0.0, 3.0, 7.5, 12.0, 29.9)]
+        __, series = recovery_timeline(events, bucket_seconds=10.0)
+        assert series["detect"].sum() == len(events)
+
+    def test_empty_and_non_finite(self):
+        times, series = recovery_timeline([], 10.0)
+        assert times.size == 0 and series == {}
+        only_inf = [RecoveryEvent(float("inf"), "data-loss", 0)]
+        times, series = recovery_timeline(only_inf, 10.0)
+        assert times.size == 0 and series == {}
+
+    def test_rejects_bad_bucket(self):
+        with pytest.raises(ValueError):
+            recovery_timeline([], 0.0)
+
+
 class TestMachineTimeline:
     def test_grouped_and_sorted(self):
         execs = [execution(1, 5.0, 6.0, name="b"),
@@ -56,3 +125,9 @@ class TestMachineTimeline:
         timeline = machine_timeline(execs)
         assert list(timeline) == [0, 1]
         assert [name for __, __, name, __ in timeline[1]] == ["c", "b"]
+
+    def test_span_view(self):
+        spans = [Span(name="s", kind="transfer", start=0.0, end=2.0,
+                      machine=3)]
+        timeline = machine_timeline(spans)
+        assert timeline == {3: [(0.0, 2.0, "s", True)]}
