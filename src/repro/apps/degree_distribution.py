@@ -11,6 +11,8 @@ VDD and parity with MapReduce (Figure 7).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.apps.base import VertexState
 from repro.mapreduce.api import MapReduceApp
 from repro.propagation.api import PropagationApp
@@ -54,6 +56,7 @@ class DegreeDistributionMapReduce(MapReduceApp):
     """MapReduce VDD with per-partition combining."""
 
     name = "VDD"
+    combine_ufunc = np.add
 
     def setup(self, pgraph) -> VertexState:
         return _vdd_state(pgraph)
@@ -67,8 +70,24 @@ class DegreeDistributionMapReduce(MapReduceApp):
         for degree, count in table.items():
             emit(degree, count)
 
+    def map_array(self, partition, pgraph, state):
+        out_deg = state.extra["out_deg"]
+        degs = out_deg[pgraph.partition_vertices[partition]]
+        uniq, counts = np.unique(degs, return_counts=True)
+        return uniq.astype(np.int64, copy=False), counts
+
     def reduce(self, key, values, state, emit):
         emit(key, sum(values))
+
+    def reduce_array(self, keys, bounds, values, state):
+        if keys.size == 0:
+            return []
+        # reduceat folds each segment sequentially; counts are exact ints
+        totals = np.add.reduceat(values, bounds[:-1])
+        return list(zip(keys.tolist(), totals.tolist()))
+
+    def combine(self, key, values, state):
+        return sum(values)
 
     def update(self, state, outputs):
         state.values.update(outputs)

@@ -8,6 +8,8 @@ oracle.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.apps.base import VertexState
 from repro.graph.digraph import Graph
 from repro.mapreduce.api import MapReduceApp
@@ -71,8 +73,37 @@ class ReverseLinkGraphMapReduce(MapReduceApp):
         for u, v in zip(src, dst):
             emit(int(v), int(u))
 
+    def map_array(self, partition, pgraph, state):
+        src, dst = pgraph.partition_edges(partition)
+        return (dst.astype(np.int64, copy=False),
+                src.astype(np.int64, copy=False))
+
     def reduce(self, key, values, state, emit):
         emit(key, tuple(sorted(set(values))))
+
+    def reduce_array(self, keys, bounds, values, state):
+        # no combiner possible here (bags don't fold to one value), but
+        # the dedup+sort reduce vectorizes: one lexsort over (key, src)
+        # then a per-group slice — tuple(sorted(set(bag))) exactly.
+        if keys.size == 0:
+            return []
+        counts = np.diff(bounds)
+        gids = np.repeat(np.arange(keys.size, dtype=np.int64), counts)
+        order = np.lexsort((values, gids))
+        sv = values[order]
+        sg = gids[order]
+        keep = np.empty(sv.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = (sv[1:] != sv[:-1]) | (sg[1:] != sg[:-1])
+        dv = sv[keep]
+        dg = sg[keep]
+        cuts = np.flatnonzero(dg[1:] != dg[:-1]) + 1
+        gbounds = np.concatenate(([0], cuts, [dg.size])).tolist()
+        vlist = dv.tolist()
+        return [
+            (key, tuple(vlist[gbounds[i]:gbounds[i + 1]]))
+            for i, key in enumerate(keys.tolist())
+        ]
 
     def output_nbytes(self, key, value):
         return 12.0 + 8.0 * len(value)

@@ -12,6 +12,11 @@ processes have to agree on where a key lives.
 every other key through ``zlib.crc32`` of a deterministic byte encoding:
 UTF-8 for strings, raw bytes as-is, ``repr`` (which is deterministic for
 ints, floats, tuples and frozensets of those) for everything else.
+
+``stable_hash_array`` is the vectorized twin used by the array fast
+paths: the Knuth hash as one uint64 multiply over an integer ndarray,
+and a batched CRC32 pass for fixed-width (``S``-dtype) byte keys — both
+bit-identical to ``stable_hash`` applied per element.
 """
 
 from __future__ import annotations
@@ -20,17 +25,53 @@ import zlib
 
 import numpy as np
 
-__all__ = ["stable_hash"]
+__all__ = ["stable_hash", "stable_hash_array"]
+
+_KNUTH = 2654435761
+_MASK32 = 0xFFFFFFFF
 
 
 def stable_hash(key) -> int:
     """A 32-bit hash of ``key`` that is identical across processes."""
     if isinstance(key, (int, np.integer)):
-        return (int(key) * 2654435761) & 0xFFFFFFFF
+        return (int(key) * _KNUTH) & _MASK32
     if isinstance(key, str):
         data = key.encode("utf-8")
     elif isinstance(key, (bytes, bytearray)):
         data = bytes(key)
     else:
         data = repr(key).encode("utf-8")
-    return zlib.crc32(data) & 0xFFFFFFFF
+    return zlib.crc32(data) & _MASK32
+
+
+def stable_hash_array(keys: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`stable_hash` over an ndarray of keys.
+
+    Integer arrays take the Knuth multiplicative hash computed in
+    wrapping uint64 arithmetic: the low 32 bits of ``key * _KNUTH`` only
+    depend on ``key mod 2**64``, so the mod-2**64 wraparound (including
+    two's-complement negatives) reproduces the arbitrary-precision
+    scalar result exactly.  Fixed-width byte arrays (dtype kind ``S``)
+    hash each element's bytes — as numpy yields them, i.e. with trailing
+    NULs stripped — through ``zlib.crc32`` in one batched pass.
+
+    Returns an int64 array of 32-bit hash values aligned with ``keys``.
+    """
+    arr = np.asarray(keys)
+    if arr.dtype.kind in "iu":
+        if arr.dtype.kind == "i":
+            wide = arr.astype(np.int64, copy=False).view(np.uint64)
+        else:
+            wide = arr.astype(np.uint64, copy=False)
+        hashed = (wide * np.uint64(_KNUTH)) & np.uint64(_MASK32)
+        return hashed.astype(np.int64)
+    if arr.dtype.kind == "S":
+        crc32 = zlib.crc32
+        return np.fromiter(
+            (crc32(k) & _MASK32 for k in arr.tolist()),
+            dtype=np.int64, count=arr.size,
+        ).reshape(arr.shape)
+    raise TypeError(
+        f"stable_hash_array: unsupported key dtype {arr.dtype!r} "
+        "(need an integer or fixed-width bytes array)"
+    )

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.errors import JobError
 from repro.graph.io import VALUE_BYTES, VERTEX_ID_BYTES
 
@@ -28,6 +30,11 @@ class MapReduceApp:
     #: so reducers must ship them back to the graph layout (a cost
     #: propagation never pays — its Combine writes in place).
     writeback_to_partitions = False
+    #: NumPy ufunc equivalent of ``combine`` (e.g. ``np.add``) — required
+    #: for the map-side combiner on the array fast path.  Must reproduce
+    #: ``combine`` bit for bit when left-folded over a key's values in
+    #: emission order.
+    combine_ufunc = None
 
     # ------------------------------------------------------------------
     # Lifecycle (mirrors PropagationApp)
@@ -59,6 +66,50 @@ class MapReduceApp:
     def reduce(self, key, values: list, state: Any, emit: Emit) -> None:
         """Fold all values of ``key``, emitting output pairs."""
         raise JobError(f"{self.name}: reduce() not implemented")
+
+    def combine(self, key, values: list, state: Any):
+        """Map-side combiner: fold one key's values into a single value.
+
+        Called per distinct key on a mapper's output (values in emission
+        order) when the engine runs with ``combiner=True``; the fold must
+        be associative so that reducing combined partials equals reducing
+        the raw values.  Apps that also set :attr:`combine_ufunc` must
+        make the two agree bit for bit — the array fast path left-folds
+        with the ufunc in the same emission order.
+        """
+        raise JobError(f"{self.name}: combine() not implemented")
+
+    # -- vectorized (array-at-a-time) variants --------------------------
+    def map_array(self, partition: int, pgraph, state: Any):
+        """Vectorized ``map``: columnar ``(keys, values)`` for a partition.
+
+        Opt-in hook of the MapReduce fast path.  Must return two aligned
+        ndarrays — integer (or fixed-width bytes) ``keys`` and ``values``
+        — listing, *in emission order*, exactly the pairs the scalar
+        ``map`` would have emitted; or ``None`` to decline, in which case
+        the engine re-runs the whole round on the scalar oracle.  Record
+        count, per-key value order and the bit patterns of the values
+        must match the scalar path exactly; key/value wire sizes must be
+        the defaults (the fast path sizes records in closed form).
+        """
+        return None
+
+    def reduce_array(self, keys: np.ndarray, bounds: np.ndarray,
+                     values: np.ndarray, state: Any):
+        """Vectorized ``reduce`` over one reducer's sorted groups.
+
+        ``keys`` holds the reducer's distinct keys sorted ascending,
+        ``values`` the concatenated bags (each key's values contiguous,
+        in shuffle arrival order — partition order, then emission
+        order), and ``bounds`` the ``len(keys) + 1`` segment boundaries:
+        key ``i``'s bag is ``values[bounds[i]:bounds[i+1]]``.  Must
+        return the output pairs as a list of Python-typed ``(key,
+        value)`` tuples bit-identical to calling the scalar ``reduce``
+        per group — or ``None`` to decline, making the engine fall back
+        to per-group scalar ``reduce`` calls (still on the array
+        shuffle).
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Cost-model sizing hooks

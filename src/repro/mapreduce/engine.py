@@ -10,22 +10,40 @@ One round = three phases folded into two barrier stages:
   the structural handicap Figure 7 quantifies.
 * **Reduce** — one task per machine: stage the received pairs, group by
   key, run ``reduce``, write outputs.
+
+Two opt-in layers sit on top of that round (mirroring the propagation
+engine's Transfer fast path):
+
+* **Array fast path** (``vectorized``) — apps that implement
+  ``map_array`` emit columnar ``(keys, values)`` arrays; the engine
+  hash-partitions them with :func:`repro.hashing.stable_hash_array`, and
+  reducers run a sort-based group-by (stable argsort + segment
+  boundaries) instead of per-record dict inserts, calling
+  ``reduce_array`` when available.  Outputs and every cost counter are
+  bit-identical to the scalar oracle.
+* **Map-side combiner** (``combiner``) — Hadoop-style: each mapper folds
+  its output per key (``combine`` scalar / ``combine_ufunc`` array)
+  before the shuffle, shrinking spill and network volume at the price of
+  one cpu charge per folded record plus one per distinct key.  The
+  pre-combine volume is kept on the report so the shuffle reduction is
+  an observable quantity.  Both the scalar and the array path implement
+  it, so the bit-identity contract holds in either combiner mode.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING
-
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.storage import PartitionStore
-from repro.hashing import stable_hash
+from repro.errors import JobError
+from repro.hashing import stable_hash, stable_hash_array
 from repro.mapreduce.api import MapReduceApp, kv_nbytes
+from repro.propagation.api import fold_by_dest
 from repro.runtime.scheduler import StageScheduler
 from repro.runtime.tasks import StageResult, Task
 
@@ -54,10 +72,41 @@ class RoundReport:
     map_records: int = 0
     shuffle_bytes: float = 0.0
     network_bytes: float = 0.0
+    #: records actually shuffled (== ``map_records`` without a combiner)
+    shuffle_records: int = 0
+    #: shuffle volume before map-side combining (== ``shuffle_bytes``
+    #: without a combiner)
+    shuffle_bytes_precombine: float = 0.0
 
     @property
     def elapsed(self) -> float:
         return self.reduce_stage.end_time - self.map_stage.start_time
+
+    @property
+    def combine_reduction(self) -> float:
+        """Fraction of the pre-combine shuffle volume the combiner cut."""
+        if self.shuffle_bytes_precombine <= 0.0:
+            return 0.0
+        return 1.0 - self.shuffle_bytes / self.shuffle_bytes_precombine
+
+
+@dataclass
+class _MapOutput:
+    """One map task's shuffle chunks and cost bookkeeping.
+
+    ``chunks`` maps reducer id to that reducer's share of this mapper's
+    output: a list of ``(key, value)`` pairs on the scalar path, or a
+    ``(keys, values)`` array pair on the fast path — both in emission
+    order, so reducers see identical per-key bags either way.
+    """
+
+    records: int = 0
+    shuffled: int = 0
+    spill: float = 0.0
+    spill_precombine: float = 0.0
+    cpu_ops: float = 0.0
+    sends: dict[int, float] = field(default_factory=dict)
+    chunks: dict[int, Any] = field(default_factory=dict)
 
 
 class MapReduceEngine:
@@ -69,6 +118,8 @@ class MapReduceEngine:
         store: PartitionStore,
         cluster: Cluster,
         assignment: np.ndarray | None = None,
+        vectorized: bool | None = None,
+        combiner: bool = False,
     ):
         self.pgraph = pgraph
         self.store = store
@@ -76,7 +127,48 @@ class MapReduceEngine:
         if assignment is None:
             assignment = store.placement_array()
         self.assignment = np.asarray(assignment, dtype=np.int64)
+        #: None = auto (fast path when the app supports it), False =
+        #: scalar oracle, True = require the fast path (JobError if the
+        #: app cannot take it).
+        self.vectorized = vectorized
+        #: fold map output per key before the shuffle (needs
+        #: ``combine`` — plus ``combine_ufunc`` on the fast path).
+        self.combiner = combiner
 
+    # ------------------------------------------------------------------
+    # Fast-path gating
+    # ------------------------------------------------------------------
+    def _fast_path_ok(self, app: MapReduceApp) -> bool:
+        if self.vectorized is False:
+            return False
+        cls = type(app)
+        why = None
+        if cls.map_array is MapReduceApp.map_array:
+            why = "map_array() is not implemented"
+        elif (cls.key_nbytes is not MapReduceApp.key_nbytes
+              or cls.value_nbytes is not MapReduceApp.value_nbytes):
+            why = "non-default key/value sizing needs per-record calls"
+        elif self.combiner and app.combine_ufunc is None:
+            why = "combiner=True needs combine_ufunc"
+        if why is None:
+            return True
+        if self.vectorized:
+            raise JobError(
+                f"{app.name}: vectorized=True but the MapReduce fast "
+                f"path is unavailable ({why})"
+            )
+        return False
+
+    def _check_combiner(self, app: MapReduceApp) -> None:
+        if type(app).combine is MapReduceApp.combine:
+            raise JobError(
+                f"{app.name}: combiner=True but combine() is not "
+                "implemented"
+            )
+
+    # ------------------------------------------------------------------
+    # Round driver
+    # ------------------------------------------------------------------
     def run_round(
         self,
         app: MapReduceApp,
@@ -86,43 +178,48 @@ class MapReduceEngine:
         """Run one map+shuffle+reduce round; returns (outputs, report)."""
         wall_start = time.perf_counter()
         num_reducers = self.cluster.num_machines
+        if self.combiner:
+            self._check_combiner(app)
+        use_fast = self._fast_path_ok(app)
+
         # -------- Map phase: run UDFs, bucket emissions per reducer ----
-        buckets: list[dict] = [dict() for _ in range(num_reducers)]
+        per_part = None
+        if use_fast:
+            per_part = self._map_phase_vectorized(app, state, num_reducers)
+            if per_part is None:
+                if self.vectorized:
+                    raise JobError(
+                        f"{app.name}: vectorized=True but map_array() "
+                        "declined the round"
+                    )
+                use_fast = False
+        if per_part is None:
+            per_part = self._map_phase_scalar(app, state, num_reducers)
+
         bucket_sources: list[dict[int, float]] = [
             {} for _ in range(num_reducers)
         ]
         map_tasks: list[Task] = []
         map_records = 0
+        shuffle_records = 0
         shuffle_bytes = 0.0
-        for p in range(self.pgraph.num_parts):
+        shuffle_pre = 0.0
+        for p, mo in enumerate(per_part):
             machine = int(self.assignment[p])
-            emitted: list[tuple[Any, Any]] = []
-            cpu_holder = {"ops": 0.0}
-
-            def emit(key, value, _out=emitted, _cpu=cpu_holder):
-                _out.append((key, value))
-                _cpu["ops"] += 1.0
-
-            app.map(p, self.pgraph, state, emit)
-            spill = 0.0
-            sends: dict[int, float] = {}
-            for key, value in emitted:
-                nbytes = kv_nbytes(app, key, value)
-                spill += nbytes
-                r = reducer_of(key, num_reducers)
-                buckets[r].setdefault(key, []).append(value)
-                sends[r] = sends.get(r, 0.0) + nbytes
+            map_records += mo.records
+            shuffle_records += mo.shuffled
+            shuffle_bytes += mo.spill
+            shuffle_pre += mo.spill_precombine
+            for r, nbytes in mo.sends.items():
                 src_map = bucket_sources[r]
                 src_map[machine] = src_map.get(machine, 0.0) + nbytes
-            map_records += len(emitted)
-            shuffle_bytes += spill
-            cpu = cpu_holder["ops"] + self.pgraph.partition_edge_count(p)
+            cpu = mo.cpu_ops + self.pgraph.partition_edge_count(p)
             fetches: list[tuple[int, float]] = []
             if machine not in self.store.replicas(p):
                 fetches.append((self.store.primary(p),
                                 float(self.pgraph.partition_bytes(p))))
             spec = self.cluster.machine(machine).spec
-            working_set = self.pgraph.partition_bytes(p) + spill
+            working_set = self.pgraph.partition_bytes(p) + mo.spill
             penalty = (spec.random_io_penalty
                        if working_set > spec.memory_bytes else 1.0)
             map_tasks.append(Task(
@@ -132,10 +229,10 @@ class MapReduceEngine:
                 partition=p,
                 # partition scan plus re-reading the spill to serve the
                 # shuffle (map outputs are persisted, then served)
-                disk_read_bytes=self.pgraph.partition_bytes(p) + spill,
+                disk_read_bytes=self.pgraph.partition_bytes(p) + mo.spill,
                 cpu_ops=cpu,
-                disk_write_bytes=spill,  # map-output spill
-                sends=[(r, b) for r, b in sorted(sends.items())],
+                disk_write_bytes=mo.spill,  # map-output spill
+                sends=[(r, b) for r, b in sorted(mo.sends.items())],
                 fetches=fetches,
                 disk_penalty=penalty,
             ))
@@ -146,30 +243,38 @@ class MapReduceEngine:
         # -------- Reduce phase ------------------------------------------
         outputs: dict = {}
         reduce_tasks: list[Task] = []
+        default_out_sizing = (
+            type(app).output_nbytes is MapReduceApp.output_nbytes)
+        num_vertices = self.pgraph.num_vertices
         for r in range(num_reducers):
-            grouped = buckets[r]
-            cpu = 0.0
-            out_bytes = 0.0
-            emitted_out: list[tuple[Any, Any]] = []
-
-            def emit(key, value, _out=emitted_out):
-                _out.append((key, value))
-
-            for key, values in grouped.items():
-                app.reduce(key, values, state, emit)
-                cpu += len(values) + 1.0
-            writeback: dict[int, float] = {}
-            for key, value in emitted_out:
-                outputs[key] = value
-                nbytes = app.output_nbytes(key, value)
-                out_bytes += nbytes
-                if app.writeback_to_partitions and isinstance(
-                    key, (int, np.integer)
-                ) and 0 <= key < self.pgraph.num_vertices:
-                    home = int(self.assignment[
-                        self.pgraph.partition_of(int(key))
-                    ])
-                    writeback[home] = writeback.get(home, 0.0) + nbytes
+            chunk_list = [mo.chunks[r] for mo in per_part
+                          if r in mo.chunks]
+            if use_fast:
+                emitted_out, cpu = self._reduce_bucket_vectorized(
+                    app, state, chunk_list)
+            else:
+                emitted_out, cpu = self._reduce_bucket_scalar(
+                    app, state, chunk_list)
+            finished = None
+            if use_fast and default_out_sizing:
+                finished = self._finish_outputs_vectorized(
+                    app, emitted_out, outputs)
+            if finished is not None:
+                out_bytes, writeback = finished
+            else:
+                out_bytes = 0.0
+                writeback = {}
+                for key, value in emitted_out:
+                    outputs[key] = value
+                    nbytes = app.output_nbytes(key, value)
+                    out_bytes += nbytes
+                    if app.writeback_to_partitions and isinstance(
+                        key, (int, np.integer)
+                    ) and 0 <= key < num_vertices:
+                        home = int(self.assignment[
+                            self.pgraph.partition_of(int(key))
+                        ])
+                        writeback[home] = writeback.get(home, 0.0) + nbytes
             staged = float(sum(bucket_sources[r].values()))
             inbound = sorted(bucket_sources[r].items())
             reduce_tasks.append(Task(
@@ -199,9 +304,174 @@ class MapReduceEngine:
             map_records=map_records,
             shuffle_bytes=shuffle_bytes,
             network_bytes=network_bytes,
+            shuffle_records=shuffle_records,
+            shuffle_bytes_precombine=shuffle_pre,
         )
         self._observe_round(scheduler, report, map_wall + reduce_wall)
         return outputs, report
+
+    # ------------------------------------------------------------------
+    # Map phase — scalar oracle
+    # ------------------------------------------------------------------
+    def _map_phase_scalar(
+        self, app: MapReduceApp, state: Any, num_reducers: int
+    ) -> list[_MapOutput]:
+        per_part: list[_MapOutput] = []
+        for p in range(self.pgraph.num_parts):
+            emitted: list[tuple[Any, Any]] = []
+
+            def emit(key, value, _out=emitted):
+                _out.append((key, value))
+
+            app.map(p, self.pgraph, state, emit)
+            mo = _MapOutput(records=len(emitted),
+                            cpu_ops=float(len(emitted)))
+            if self.combiner:
+                mo.spill_precombine = float(sum(
+                    kv_nbytes(app, key, value) for key, value in emitted
+                ))
+                folded: dict[Any, list] = {}
+                for key, value in emitted:
+                    folded.setdefault(key, []).append(value)
+                pairs = []
+                for key, values in folded.items():
+                    pairs.append((key, app.combine(key, values, state)))
+                    mo.cpu_ops += len(values) + 1.0
+            else:
+                pairs = emitted
+            for key, value in pairs:
+                nbytes = kv_nbytes(app, key, value)
+                mo.spill += nbytes
+                r = reducer_of(key, num_reducers)
+                mo.chunks.setdefault(r, []).append((key, value))
+                mo.sends[r] = mo.sends.get(r, 0.0) + nbytes
+            mo.shuffled = len(pairs)
+            if not self.combiner:
+                mo.spill_precombine = mo.spill
+            per_part.append(mo)
+        return per_part
+
+    # ------------------------------------------------------------------
+    # Map phase — array fast path
+    # ------------------------------------------------------------------
+    def _map_phase_vectorized(
+        self, app: MapReduceApp, state: Any, num_reducers: int
+    ) -> list[_MapOutput] | None:
+        """Columnar map + combine + hash shuffle; None = app declined."""
+        rec_bytes = float(app.key_nbytes(None) + app.value_nbytes(None))
+        per_part: list[_MapOutput] = []
+        for p in range(self.pgraph.num_parts):
+            kv = app.map_array(p, self.pgraph, state)
+            if kv is None:
+                return None
+            keys = np.asarray(kv[0])
+            values = np.asarray(kv[1])
+            mo = _MapOutput(records=int(keys.size),
+                            cpu_ops=float(keys.size))
+            mo.spill_precombine = rec_bytes * mo.records
+            if self.combiner and keys.size:
+                keys, values, _ = fold_by_dest(
+                    keys, values, app.combine_ufunc)
+                mo.cpu_ops += float(mo.records + keys.size)
+            mo.shuffled = int(keys.size)
+            mo.spill = rec_bytes * mo.shuffled
+            if not self.combiner:
+                mo.spill_precombine = mo.spill
+            if keys.size:
+                rids = stable_hash_array(keys) % num_reducers
+                counts = np.bincount(rids, minlength=num_reducers)
+                order = np.argsort(rids, kind="stable")
+                sk = keys[order]
+                sv = values[order]
+                bounds = np.concatenate(
+                    ([0], np.cumsum(counts))).tolist()
+                for r in np.flatnonzero(counts).tolist():
+                    mo.chunks[r] = (sk[bounds[r]:bounds[r + 1]],
+                                    sv[bounds[r]:bounds[r + 1]])
+                    mo.sends[r] = float(counts[r]) * rec_bytes
+            per_part.append(mo)
+        return per_part
+
+    # ------------------------------------------------------------------
+    # Reduce phase — per-reducer group-by + UDF
+    # ------------------------------------------------------------------
+    def _reduce_bucket_scalar(
+        self, app: MapReduceApp, state: Any, chunk_list: list
+    ) -> tuple[list, float]:
+        grouped: dict[Any, list] = {}
+        for chunk in chunk_list:  # partition order, emission order within
+            for key, value in chunk:
+                grouped.setdefault(key, []).append(value)
+        emitted_out: list[tuple[Any, Any]] = []
+
+        def emit(key, value, _out=emitted_out):
+            _out.append((key, value))
+
+        cpu = 0.0
+        for key, values in grouped.items():
+            app.reduce(key, values, state, emit)
+            cpu += len(values) + 1.0
+        return emitted_out, cpu
+
+    def _reduce_bucket_vectorized(
+        self, app: MapReduceApp, state: Any, chunk_list: list
+    ) -> tuple[list, float]:
+        """Sort-based group-by: stable argsort keeps each key's bag in
+        shuffle arrival order, matching the scalar dict-insert oracle."""
+        if not chunk_list:
+            return [], 0.0
+        keys = np.concatenate([c[0] for c in chunk_list])
+        values = np.concatenate([c[1] for c in chunk_list])
+        order = np.argsort(keys, kind="stable")
+        k = keys[order]
+        v = values[order]
+        n = int(k.size)
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        np.not_equal(k[1:], k[:-1], out=new_group[1:])
+        starts = np.flatnonzero(new_group)
+        uniq = k[starts]
+        bounds = np.concatenate((starts, [n]))
+        cpu = float(n + uniq.size)
+        if type(app).reduce_array is not MapReduceApp.reduce_array:
+            pairs = app.reduce_array(uniq, bounds, v, state)
+            if pairs is not None:
+                return list(pairs), cpu
+        emitted_out: list[tuple[Any, Any]] = []
+
+        def emit(key, value, _out=emitted_out):
+            _out.append((key, value))
+
+        blist = bounds.tolist()
+        for i, key in enumerate(uniq.tolist()):
+            app.reduce(key, v[blist[i]:blist[i + 1]].tolist(),
+                       state, emit)
+        return emitted_out, cpu
+
+    def _finish_outputs_vectorized(
+        self, app: MapReduceApp, pairs: list, outputs: dict
+    ) -> tuple[float, dict[int, float]] | None:
+        """Fold reduce output pairs into ``outputs`` + writeback in bulk.
+
+        Only valid with default (constant) output sizing; per-record
+        byte sums and per-home writeback accumulations are products of
+        integer-valued floats, so they equal the scalar loop bit for
+        bit.  Returns None (caller falls back to the per-pair loop) for
+        writeback apps with non-integer keys.
+        """
+        rec = float(app.key_nbytes(None) + app.value_nbytes(None))
+        writeback: dict[int, float] = {}
+        if app.writeback_to_partitions and pairs:
+            keys = np.asarray([key for key, _ in pairs])
+            if keys.dtype.kind not in "iu":
+                return None
+            ok = (keys >= 0) & (keys < self.pgraph.num_vertices)
+            homes = self.assignment[self.pgraph.parts[keys[ok]]]
+            counts = np.bincount(homes)
+            writeback = {int(h): float(counts[h]) * rec
+                         for h in np.flatnonzero(counts)}
+        outputs.update(pairs)
+        return rec * len(pairs), writeback
 
     def _observe_round(self, scheduler: StageScheduler,
                        report: RoundReport,
@@ -221,4 +491,7 @@ class MapReduceEngine:
         m.add("mapreduce.map_records", report.map_records)
         m.add("mapreduce.shuffle_bytes", report.shuffle_bytes)
         m.add("mapreduce.network_bytes", report.network_bytes)
+        m.add("mapreduce.shuffle_records", report.shuffle_records)
+        m.add("mapreduce.shuffle_bytes_precombine",
+              report.shuffle_bytes_precombine)
         m.add("wall.udf_seconds", udf_wall_seconds)

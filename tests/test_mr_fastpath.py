@@ -1,0 +1,271 @@
+"""Vectorized MapReduce fast path: hash parity, scalar-vs-array
+equivalence, combiner accounting, and routing determinism.
+
+The scalar per-record path is the oracle: the array path must reproduce
+its outputs, shuffle counters and task costs *bit for bit* — in both
+combiner modes (see docs/COST_MODEL.md for the contract).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps import (
+    DegreeDistributionMapReduce,
+    NetworkRankingMapReduce,
+    ReverseLinkGraphMapReduce,
+)
+from repro.core.surfer import Surfer
+from repro.errors import JobError
+from repro.graph.generators import composite_social_graph
+from repro.hashing import stable_hash, stable_hash_array
+from repro.mapreduce.api import MapReduceApp
+from repro.mapreduce.engine import reducer_of
+from repro.runtime.events import reconcile
+from tests.conftest import make_test_cluster
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+# ----------------------------------------------------------------------
+# stable_hash_array == stable_hash, element for element
+# ----------------------------------------------------------------------
+class TestStableHashArray:
+    def test_int64_parity_including_negatives(self):
+        keys = np.array([0, 1, 42, -5, -2**62, 2**62, 2**63 - 1, -2**63],
+                        dtype=np.int64)
+        hashed = stable_hash_array(keys)
+        assert hashed.tolist() == [stable_hash(int(k)) for k in keys]
+
+    @pytest.mark.parametrize("dtype", [np.int8, np.int32, np.uint8,
+                                       np.uint32, np.uint64])
+    def test_small_and_unsigned_dtypes(self, dtype):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, np.iinfo(dtype).max, 200,
+                            dtype=np.uint64).astype(dtype)
+        hashed = stable_hash_array(keys)
+        assert hashed.tolist() == [stable_hash(int(k)) for k in keys]
+
+    def test_bytes_keys_parity(self):
+        keys = np.array([b"alpha", b"x", b"longer-key", b""], dtype="S16")
+        hashed = stable_hash_array(keys)
+        # numpy strips trailing NULs when yielding bytes; the scalar
+        # twin of the batched CRC32 hashes exactly those bytes
+        assert hashed.tolist() == [stable_hash(k) for k in keys.tolist()]
+
+    def test_routing_matches_reducer_of(self):
+        rng = np.random.default_rng(17)
+        keys = rng.integers(-10**9, 10**9, 5000)
+        routed = (stable_hash_array(keys) % 32).tolist()
+        assert routed == [reducer_of(int(k), 32) for k in keys]
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(TypeError):
+            stable_hash_array(np.array([1.5, 2.5]))
+
+
+# ----------------------------------------------------------------------
+# Scalar vs. vectorized engine equivalence
+# ----------------------------------------------------------------------
+def _job_signature(job):
+    reports = [
+        (r.map_records, r.shuffle_records, r.shuffle_bytes,
+         r.shuffle_bytes_precombine, r.network_bytes)
+        for r in job.reports
+    ]
+    tasks = [
+        (e.task.name, e.task.cpu_ops, e.task.disk_read_bytes,
+         e.task.disk_write_bytes, tuple(e.task.sends),
+         tuple(e.task.receives), e.task.disk_penalty)
+        for e in job.executions
+    ]
+    metrics = (job.metrics.network_bytes, job.metrics.disk_bytes,
+               job.metrics.response_time)
+    return reports, tasks, metrics
+
+
+def _result_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray):
+        return a.tobytes() == b.tobytes()  # bitwise, not approx
+    if isinstance(a, dict):
+        return a == b
+    # RLG finalizes to a Graph
+    return (np.array_equal(a.edge_sources(), b.edge_sources())
+            and np.array_equal(a.out_indices, b.out_indices))
+
+
+APPS = {
+    "NR": NetworkRankingMapReduce,
+    "VDD": DegreeDistributionMapReduce,
+    "RLG": ReverseLinkGraphMapReduce,
+}
+
+
+class TestFastPathEquivalence:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return composite_social_graph(
+            num_communities=8, community_size=64, k=5, seed=9
+        )
+
+    @pytest.fixture(scope="class")
+    def surfer(self, graph):
+        return Surfer(graph, make_test_cluster(4), num_parts=8, seed=3)
+
+    @pytest.mark.parametrize("combiner", [False, True])
+    @pytest.mark.parametrize("app_name", ["NR", "VDD", "RLG"])
+    def test_bit_identical_products(self, surfer, app_name, combiner):
+        if app_name == "RLG" and combiner:
+            pytest.skip("RLG bags cannot fold to one value")
+        app_cls = APPS[app_name]
+        scalar = surfer.run_mapreduce(app_cls(), rounds=2,
+                                      vectorized=False, combiner=combiner)
+        fast = surfer.run_mapreduce(app_cls(), rounds=2,
+                                    vectorized=True, combiner=combiner)
+        assert _result_equal(scalar.result, fast.result)
+        assert _job_signature(scalar) == _job_signature(fast)
+
+    @pytest.mark.parametrize("combiner", [False, True])
+    def test_fast_path_reconciles(self, surfer, combiner):
+        job = surfer.run_mapreduce(NetworkRankingMapReduce(), rounds=2,
+                                   vectorized=True, combiner=combiner)
+        assert reconcile(job) == []
+
+    def test_naive_map_plus_combiner_matches_in_map_combining(self, surfer):
+        """Engine-side combining of the raw per-edge emission stream is
+        bit-identical to Algorithm 2's in-map hash table (same folds, in
+        the same edge-scan order)."""
+        in_map = surfer.run_mapreduce(NetworkRankingMapReduce(),
+                                      rounds=1, vectorized=True)
+        for vectorized in (False, True):
+            naive = surfer.run_mapreduce(
+                NetworkRankingMapReduce(in_map_combining=False),
+                rounds=1, vectorized=vectorized, combiner=True)
+            assert naive.result.tobytes() == in_map.result.tobytes()
+            rep = naive.reports[0]
+            # the raw stream is much bigger than what hits the wire ...
+            assert rep.shuffle_bytes < rep.shuffle_bytes_precombine
+            assert rep.shuffle_records < rep.map_records
+            assert 0.0 < rep.combine_reduction < 1.0
+            # ... and the combined stream equals the in-map one
+            assert rep.shuffle_bytes == in_map.reports[0].shuffle_bytes
+
+    def test_combiner_off_keeps_precombine_equal(self, surfer):
+        job = surfer.run_mapreduce(NetworkRankingMapReduce(), rounds=1)
+        rep = job.reports[0]
+        assert rep.shuffle_bytes_precombine == rep.shuffle_bytes
+        assert rep.shuffle_records == rep.map_records
+        assert rep.combine_reduction == 0.0
+
+    def test_force_vectorized_rejects_unsupported_app(self, surfer):
+        class NoArrayApp(MapReduceApp):
+            name = "no-array"
+
+            def map(self, partition, pgraph, state, emit):
+                emit(partition, 1)
+
+            def reduce(self, key, values, state, emit):
+                emit(key, sum(values))
+
+            def update(self, state, outputs):
+                pass
+
+        with pytest.raises(JobError):
+            surfer.run_mapreduce(NoArrayApp(), vectorized=True)
+
+    def test_custom_sizing_disqualifies_fast_path(self, surfer):
+        """Per-record sizing hooks need per-record calls; the fast path
+        declines instead of silently using the constant sizes."""
+
+        class FatKeys(NetworkRankingMapReduce):
+            def key_nbytes(self, key):
+                return 16.0
+
+        with pytest.raises(JobError):
+            surfer.run_mapreduce(FatKeys(), vectorized=True)
+        auto = surfer.run_mapreduce(FatKeys())  # auto: scalar path
+        scalar = surfer.run_mapreduce(FatKeys(), vectorized=False)
+        assert _job_signature(auto) == _job_signature(scalar)
+
+    def test_map_array_decline_falls_back_whole_round(self, surfer):
+        class Declines(NetworkRankingMapReduce):
+            def map_array(self, partition, pgraph, state):
+                if partition == 3:
+                    return None  # scalar re-run must cover all partitions
+                return super().map_array(partition, pgraph, state)
+
+        with pytest.raises(JobError):
+            surfer.run_mapreduce(Declines(), vectorized=True)
+        auto = surfer.run_mapreduce(Declines())
+        scalar = surfer.run_mapreduce(Declines(), vectorized=False)
+        assert auto.result.tobytes() == scalar.result.tobytes()
+        assert _job_signature(auto) == _job_signature(scalar)
+
+    def test_combiner_needs_combine(self, surfer):
+        with pytest.raises(JobError):
+            surfer.run_mapreduce(ReverseLinkGraphMapReduce(),
+                                 combiner=True)
+
+    def test_combiner_on_fast_path_needs_ufunc(self, surfer):
+        class NoUfunc(NetworkRankingMapReduce):
+            combine_ufunc = None
+
+        with pytest.raises(JobError):
+            surfer.run_mapreduce(NoUfunc(), vectorized=True, combiner=True)
+        # auto silently takes the scalar path, which only needs combine()
+        auto = surfer.run_mapreduce(NoUfunc(), combiner=True)
+        scalar = surfer.run_mapreduce(NetworkRankingMapReduce(),
+                                      vectorized=False, combiner=True)
+        assert auto.result.tobytes() == scalar.result.tobytes()
+
+    def test_reduce_array_decline_uses_sorted_scalar_groups(self, surfer):
+        class NoReduceArray(NetworkRankingMapReduce):
+            def reduce_array(self, keys, bounds, values, state):
+                return None
+
+        fast = surfer.run_mapreduce(NoReduceArray(), vectorized=True)
+        scalar = surfer.run_mapreduce(NoReduceArray(), vectorized=False)
+        assert fast.result.tobytes() == scalar.result.tobytes()
+        assert _job_signature(fast) == _job_signature(scalar)
+
+
+# ----------------------------------------------------------------------
+# Routing determinism across PYTHONHASHSEED values
+# ----------------------------------------------------------------------
+_ROUTE_SNIPPET = """
+import numpy as np
+from repro.hashing import stable_hash_array
+keys = np.array([0, 1, 42, -5, 123456789, -2**40], dtype=np.int64)
+print((stable_hash_array(keys) % 16).tolist())
+print((stable_hash_array(np.array([b"u:1", b"v:2"], dtype="S8")) % 16)
+      .tolist())
+"""
+
+
+class TestRoutingDeterminism:
+    def _route_output(self, hashseed: str) -> str:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hashseed
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _ROUTE_SNIPPET],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        return proc.stdout
+
+    def test_array_routing_survives_hash_salting(self):
+        out0 = self._route_output("0")
+        out1 = self._route_output("54321")
+        assert out0 == out1
+        # and the parent process (whatever its seed) agrees too
+        keys = np.array([0, 1, 42, -5, 123456789, -2**40], dtype=np.int64)
+        local = str((stable_hash_array(keys) % 16).tolist()) + "\n" + str(
+            (stable_hash_array(np.array([b"u:1", b"v:2"], dtype="S8")) % 16)
+            .tolist()) + "\n"
+        assert out0 == local
