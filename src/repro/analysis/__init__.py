@@ -1,0 +1,37 @@
+"""Domain-aware static analysis for the Surfer reproduction.
+
+The ``repro check`` gate: determinism lints (DET001–DET004), the UDF
+contract verifier (UDF001/UDF002/PAR001), the counter-conservation
+pass (CNT001/CNT002) and the strict typing gate (TYP001).  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and rationale.
+"""
+
+from repro.analysis.findings import (
+    RULES,
+    Finding,
+    apply_suppressions,
+    collect_suppressions,
+    findings_to_json,
+    render_findings,
+)
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "apply_suppressions",
+    "collect_suppressions",
+    "findings_to_json",
+    "render_findings",
+    "check_paths",
+    "CheckReport",
+]
+
+
+def __getattr__(name: str) -> object:
+    # runner pulls in numpy-backed contract machinery; keep the base
+    # package import light for the findings-only consumers
+    if name in ("check_paths", "CheckReport", "iter_python_files"):
+        from repro.analysis import runner
+
+        return getattr(runner, name)
+    raise AttributeError(name)

@@ -1,0 +1,546 @@
+"""UDF contract verifier (UDF001 / UDF002 / PAR001).
+
+Section 5's local combination is only sound when the app's
+``combine``/``merge`` obey the contract the engine assumes: arrival
+order must not matter (messages race across partitions), partial folds
+shipped from remote partitions must equal the unfolded bag, and the
+vectorized hooks must agree with their scalar counterparts.  The paper
+*assumes* these properties of the UDFs; nothing enforced them.
+
+Three checks, hybrid static + dynamic:
+
+* **UDF001** (static) — purity scan over every ``PropagationApp`` /
+  ``MapReduceApp`` subclass body found in a source file: UDFs
+  (``transfer``/``combine``/``map``/``reduce``/``merge``/…) must not do
+  I/O, touch process-global modules (``random``, ``os``, ``time``,
+  ``subprocess``…), use ``global``/``nonlocal``, or mutate ``self`` —
+  a re-executed task (fault tolerance, speculation) would observe the
+  mutation from the first attempt.  Per-job scratch belongs in
+  ``VertexState.extra``, which the engines re-create on re-execution.
+* **UDF002** (dynamic) — property checks on *real* payloads: the app's
+  own ``transfer``/``map`` runs on a tiny partitioned graph and the
+  harvested bags feed associativity / commutativity / partial-fold /
+  ufunc-parity checks of ``combine`` and ``merge``.  Virtual-vertex
+  apps (VDD) are harvested through ``virtual_transfer`` /
+  ``virtual_combine`` so the Section 3.3 path is exercised explicitly.
+* **PAR001** (static) — any app overriding an array fast-path hook
+  (``transfer_array``, ``map_array``, ``reduce_array``,
+  ``select_array``, ``combine_ufunc``, ``merge_ufunc``) must override
+  the scalar counterpart it claims to mirror *and* appear in a
+  registered parity test (the fast-path suites), otherwise the
+  bit-identical guarantee is unenforced.
+
+Float comparisons use a tolerance: IEEE addition is not bitwise
+associative, and the engine's guarantee is "same result up to float
+re-association" for reordered partial folds.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.analysis.findings import (
+    Finding,
+    apply_suppressions,
+    collect_suppressions,
+)
+
+__all__ = [
+    "check_udf_purity",
+    "check_array_parity",
+    "verify_propagation_app",
+    "verify_mapreduce_app",
+    "verify_registered_apps",
+    "make_contract_pgraph",
+]
+
+#: method names treated as UDF bodies for the purity scan
+UDF_METHOD_NAMES = frozenset({
+    "select", "select_array", "transfer", "transfer_array",
+    "virtual_transfer", "virtual_combine", "combine", "merge",
+    "map", "map_array", "reduce", "reduce_array",
+})
+_APP_BASES = frozenset({"PropagationApp", "MapReduceApp"})
+_IO_CALLS = frozenset({"open", "input", "print", "exec", "eval",
+                       "breakpoint"})
+_IMPURE_ROOTS = frozenset({"random", "os", "sys", "time", "socket",
+                           "subprocess", "shutil", "pathlib"})
+
+_REL_TOL = 1e-9
+_ABS_TOL = 1e-12
+
+#: constructor overrides (keyed by the app's paper short name) so every
+#: app produces multi-value bags on the 24-vertex contract graph — RS
+#: at its default 5% initial adoption seeds a single adopter there,
+#: which yields no bag to fold
+_CONTRACT_KWARGS: dict[str, dict[str, Any]] = {
+    "RS": {"initial_ratio": 0.6},
+}
+
+
+def _instantiate(cls: type) -> Any:
+    return cls(**_CONTRACT_KWARGS.get(getattr(cls, "name", ""), {}))
+
+
+# ---------------------------------------------------------------------------
+# UDF001 — static purity scan
+# ---------------------------------------------------------------------------
+
+def _base_names(cls: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _purity_violations(method: ast.FunctionDef, path: str,
+                       cls_name: str) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def report(node: ast.AST, what: str) -> None:
+        findings.append(Finding(
+            "UDF001", path, getattr(node, "lineno", method.lineno),
+            f"{cls_name}.{method.name}: {what} — UDFs re-execute under "
+            "fault tolerance/speculation and must be pure (job scratch "
+            "belongs in VertexState.extra)",
+        ))
+
+    for node in ast.walk(method):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            report(node, "global/nonlocal state access")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _IO_CALLS:
+                report(node, f"I/O or dynamic-execution call {func.id}()")
+            elif isinstance(func, ast.Attribute):
+                root = func.value
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if (isinstance(root, ast.Name)
+                        and root.id in _IMPURE_ROOTS):
+                    report(node,
+                           f"call into process-global module {root.id!r}")
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    report(node, f"mutates self.{target.attr}")
+    return findings
+
+
+def check_udf_purity(source: str, path: str) -> list[Finding]:
+    """UDF001 over every app subclass defined directly in ``source``."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []  # E999 is reported by the determinism pass
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef)
+                and _base_names(node) & _APP_BASES):
+            continue
+        for item in node.body:
+            if (isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name in UDF_METHOD_NAMES):
+                findings.extend(_purity_violations(item, path, node.name))
+    return apply_suppressions(findings, collect_suppressions(source))
+
+
+# ---------------------------------------------------------------------------
+# PAR001 — array hook / scalar counterpart / parity-test registration
+# ---------------------------------------------------------------------------
+
+def _overrides(cls: type, base: type, name: str) -> bool:
+    return getattr(cls, name, None) is not getattr(base, name, None)
+
+
+def _cls_location(cls: type) -> tuple[str, int]:
+    try:
+        path = inspect.getsourcefile(cls) or "<unknown>"
+        _, line = inspect.getsourcelines(cls)
+    except (OSError, TypeError):
+        return "<unknown>", 1
+    norm = path.replace("\\", "/")
+    idx = norm.rfind("/src/repro/")
+    if idx >= 0:
+        norm = norm[idx + 1:]
+    return norm, line
+
+
+def check_array_parity(classes: list[type],
+                       parity_source: str) -> list[Finding]:
+    """PAR001 for every app class overriding an array fast-path hook.
+
+    ``parity_source`` is the concatenated text of the registered parity
+    suites (the fast-path tests); an app whose class name never appears
+    there has no bit-identical check backing its fast path.
+    """
+    from repro.mapreduce.api import MapReduceApp
+    from repro.propagation.api import PropagationApp
+
+    findings: list[Finding] = []
+    for cls in classes:
+        if issubclass(cls, PropagationApp):
+            base: type = PropagationApp
+            hook_pairs = [("transfer_array", "transfer"),
+                          ("select_array", "select")]
+            ufunc_pairs = [("merge_ufunc", "merge")]
+        elif issubclass(cls, MapReduceApp):
+            base = MapReduceApp
+            hook_pairs = [("map_array", "map"), ("reduce_array", "reduce")]
+            ufunc_pairs = [("combine_ufunc", "combine")]
+        else:
+            continue
+        path, line = _cls_location(cls)
+        overridden: list[tuple[str, str]] = []
+        for hook, scalar in hook_pairs:
+            if _overrides(cls, base, hook):
+                overridden.append((hook, scalar))
+        for attr, scalar in ufunc_pairs:
+            if getattr(cls, attr, None) is not None:
+                overridden.append((attr, scalar))
+        if not overridden:
+            continue
+        for hook, scalar in overridden:
+            if not _overrides(cls, base, scalar):
+                findings.append(Finding(
+                    "PAR001", path, line,
+                    f"{cls.__name__} defines {hook} without overriding "
+                    f"the scalar counterpart {scalar}(); the fast path "
+                    "has no reference semantics to be bit-identical to",
+                ))
+        if cls.__name__ not in parity_source:
+            hooks = ", ".join(h for h, _ in overridden)
+            findings.append(Finding(
+                "PAR001", path, line,
+                f"{cls.__name__} defines array hook(s) {hooks} but is "
+                "not exercised by a registered parity test (the "
+                "fast-path suites); add it to the scalar-vs-array "
+                "parity matrix",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# UDF002 — dynamic property checks on harvested payloads
+# ---------------------------------------------------------------------------
+
+def _approx_eq(a: Any, b: Any) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a_arr, b_arr = np.asarray(a), np.asarray(b)
+        if a_arr.shape != b_arr.shape:
+            return False
+        if a_arr.dtype.kind in "fc" or b_arr.dtype.kind in "fc":
+            return bool(np.allclose(a_arr, b_arr,
+                                    rtol=_REL_TOL, atol=_ABS_TOL))
+        return bool(np.array_equal(a_arr, b_arr))
+    if isinstance(a, bool) or isinstance(b, bool):
+        return bool(a) == bool(b)
+    if isinstance(a, (int, float, np.integer, np.floating)) and isinstance(
+            b, (int, float, np.integer, np.floating)):
+        return bool(np.isclose(float(a), float(b),
+                               rtol=_REL_TOL, atol=_ABS_TOL))
+    if isinstance(a, (set, frozenset)) and isinstance(b, (set, frozenset)):
+        return a == b
+    if isinstance(a, dict) and isinstance(b, dict):
+        return (a.keys() == b.keys()
+                and all(_approx_eq(a[k], b[k]) for k in a))
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return (len(a) == len(b)
+                and all(_approx_eq(x, y) for x, y in zip(a, b)))
+    return bool(a == b)
+
+
+def make_contract_pgraph() -> Any:
+    """The tiny graph every contract check harvests payloads from.
+
+    Symmetrized Erdős–Rényi: every app (including the undirected ones —
+    TC, TFL, CC) is well-defined on it, and mean in-degree ~10 gives
+    every destination a real multi-value bag to fold.
+    """
+    from repro.core.partitioned import PartitionedGraph
+    from repro.graph.generators import erdos_renyi
+
+    graph = erdos_renyi(24, 120, seed=5).symmetrized()
+    parts = np.arange(graph.num_vertices, dtype=np.int64) % 3
+    return PartitionedGraph(graph, parts, 3)
+
+
+def _rich_groups(groups: dict[Any, list[Any]],
+                 limit: int = 4) -> list[tuple[Any, list[Any]]]:
+    """Up to ``limit`` (key, bag) pairs with the largest bags first."""
+    ordered = sorted(groups.items(),
+                     key=lambda kv: (-len(kv[1]), str(kv[0])))
+    return [(k, vals) for k, vals in ordered if len(vals) >= 2][:limit]
+
+
+def _fold(merge: Callable[[Any, Any], Any], values: list[Any]) -> Any:
+    acc = values[0]
+    for v in values[1:]:
+        acc = merge(acc, v)
+    return acc
+
+
+def _rotate(values: list[Any]) -> list[Any]:
+    return values[1:] + values[:1]
+
+
+def verify_propagation_app(cls: type, pgraph: Any = None) -> list[Finding]:
+    """UDF002 checks for one ``PropagationApp`` subclass.
+
+    Harvests real messages by running the app's own ``transfer`` (or
+    ``virtual_transfer`` for virtual-vertex apps — VDD's Section 3.3
+    path) over ``pgraph``, then property-checks the fold UDFs on the
+    harvested bags.
+    """
+    from repro.propagation.api import PropagationApp
+
+    if pgraph is None:
+        pgraph = make_contract_pgraph()
+    path, line = _cls_location(cls)
+    findings: list[Finding] = []
+
+    def fail(what: str) -> None:
+        findings.append(Finding(
+            "UDF002", path, line, f"{cls.__name__}: {what}"))
+
+    try:
+        app = _instantiate(cls)
+        state = app.setup(pgraph)
+        groups: dict[Any, list[Any]] = {}
+        if getattr(cls, "uses_virtual_vertices", False):
+            for u in range(pgraph.num_vertices):
+                for key, val in app.virtual_transfer(int(u), state):
+                    groups.setdefault(key, []).append(val)
+
+            def combine(k: Any, vals: list[Any]) -> Any:
+                return app.virtual_combine(k, vals, state)
+        else:
+            for p in range(pgraph.num_parts):
+                src, dst = pgraph.partition_edges(p)
+                for u, v in zip(src.tolist(), dst.tolist()):
+                    if not app.select(int(u), state):
+                        continue
+                    val = app.transfer(int(u), int(v), state)
+                    if val is not None:
+                        groups.setdefault(int(v), []).append(val)
+
+            def combine(k: Any, vals: list[Any]) -> Any:
+                return app.combine(k, vals, state)
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+        fail(f"contract harness failed to harvest payloads ({exc!r})")
+        return findings
+
+    rich = _rich_groups(groups)
+    if not rich:
+        fail("no destination received 2+ messages on the contract "
+             "graph; the fold contract cannot be checked")
+        return findings
+
+    has_merge = cls.merge is not PropagationApp.merge
+    merge_ufunc = getattr(cls, "merge_ufunc", None)
+    is_assoc = bool(getattr(cls, "is_associative", False))
+    if is_assoc and not has_merge:
+        fail("declares is_associative=True but does not override "
+             "merge(); local combination would crash")
+
+    for key, vals in rich:
+        try:
+            base = combine(key, list(vals))
+            # arrival order must not matter: messages race across
+            # partition boundaries
+            for perm in (list(reversed(vals)), _rotate(vals)):
+                got = combine(key, perm)
+                if not _approx_eq(base, got):
+                    fail(f"combine is order-sensitive at key {key!r}: "
+                         f"{base!r} vs {got!r} under reordering")
+                    break
+            if has_merge and is_assoc:
+                a, b, c = (vals + vals)[:3]
+                left = app.merge(app.merge(a, b), c)
+                right = app.merge(a, app.merge(b, c))
+                if not _approx_eq(left, right):
+                    fail(f"merge is not associative at key {key!r}: "
+                         f"{left!r} vs {right!r}")
+                # commutativity modulo combine: shipping partials in
+                # either order must yield the same combined value
+                fwd = combine(key, [app.merge(a, b)])
+                rev = combine(key, [app.merge(b, a)])
+                if not _approx_eq(fwd, rev):
+                    fail(f"merge order leaks through combine at key "
+                         f"{key!r}: {fwd!r} vs {rev!r}")
+                # partial-fold soundness (Section 5 local combination):
+                # folding any split locally then combining the partials
+                # must equal combining the raw bag
+                mid = max(1, len(vals) // 2)
+                split = combine(key, [_fold(app.merge, vals[:mid]),
+                                      _fold(app.merge, vals[mid:])])
+                if not _approx_eq(base, split):
+                    fail(f"local combination changes the result at key "
+                         f"{key!r}: {base!r} vs {split!r}")
+            if merge_ufunc is not None and has_merge:
+                a, b = vals[0], vals[1]
+                got = merge_ufunc(a, b)
+                want = app.merge(a, b)
+                if not _approx_eq(want, got):
+                    fail(f"merge_ufunc disagrees with merge at key "
+                         f"{key!r}: {want!r} vs {got!r}")
+        except Exception as exc:  # noqa: BLE001
+            fail(f"contract check raised at key {key!r} ({exc!r})")
+    return findings
+
+
+def verify_mapreduce_app(cls: type, pgraph: Any = None) -> list[Finding]:
+    """UDF002 checks for one ``MapReduceApp`` subclass.
+
+    Runs the app's own ``map`` over every partition, groups the emitted
+    pairs by key, then property-checks ``combine`` (map-side combiner
+    contract) and ``reduce`` (arrival-order insensitivity) on the
+    harvested bags.
+    """
+    from repro.mapreduce.api import MapReduceApp
+
+    if pgraph is None:
+        pgraph = make_contract_pgraph()
+    path, line = _cls_location(cls)
+    findings: list[Finding] = []
+
+    def fail(what: str) -> None:
+        findings.append(Finding(
+            "UDF002", path, line, f"{cls.__name__}: {what}"))
+
+    try:
+        app = _instantiate(cls)
+        state = app.setup(pgraph)
+        groups: dict[Any, list[Any]] = {}
+        for p in range(pgraph.num_parts):
+            app.map(p, pgraph, state,
+                    lambda k, v: groups.setdefault(k, []).append(v))
+    except Exception as exc:  # noqa: BLE001
+        fail(f"contract harness failed to harvest payloads ({exc!r})")
+        return findings
+
+    rich = _rich_groups(groups)
+    if not rich:
+        fail("no key received 2+ mapped values on the contract graph; "
+             "the combiner contract cannot be checked")
+        return findings
+
+    has_combine = cls.combine is not MapReduceApp.combine
+    combine_ufunc = getattr(cls, "combine_ufunc", None)
+    if combine_ufunc is not None and not has_combine:
+        fail("sets combine_ufunc without overriding combine(); the "
+             "scalar combiner path would crash")
+
+    def run_reduce(key: Any, vals: list[Any]) -> list[tuple[Any, Any]]:
+        out: list[tuple[Any, Any]] = []
+        app.reduce(key, vals, state, lambda k, v: out.append((k, v)))
+        return out
+
+    for key, vals in rich:
+        try:
+            # reduce must not depend on shuffle arrival order
+            base_out = run_reduce(key, list(vals))
+            for perm in (list(reversed(vals)), _rotate(vals)):
+                got_out = run_reduce(key, perm)
+                if not _approx_eq(base_out, got_out):
+                    fail(f"reduce is order-sensitive at key {key!r}: "
+                         f"{base_out!r} vs {got_out!r} under reordering")
+                    break
+            if has_combine:
+                base = app.combine(key, list(vals), state)
+                for perm in (list(reversed(vals)), _rotate(vals)):
+                    got = app.combine(key, perm, state)
+                    if not _approx_eq(base, got):
+                        fail(f"combine is order-sensitive at key {key!r}"
+                             f": {base!r} vs {got!r} under reordering")
+                        break
+                mid = max(1, len(vals) // 2)
+                split = app.combine(key, [
+                    app.combine(key, vals[:mid], state),
+                    app.combine(key, vals[mid:], state),
+                ], state)
+                if not _approx_eq(base, split):
+                    fail(f"combining combined partials changes the "
+                         f"result at key {key!r}: {base!r} vs {split!r}")
+                if combine_ufunc is not None:
+                    got = _fold(combine_ufunc, list(vals))
+                    if not _approx_eq(base, got):
+                        fail(f"combine_ufunc left-fold disagrees with "
+                             f"combine at key {key!r}: {base!r} vs "
+                             f"{got!r}")
+        except Exception as exc:  # noqa: BLE001
+            fail(f"contract check raised at key {key!r} ({exc!r})")
+    return findings
+
+
+def verify_registered_apps(
+    parity_source: str | None = None,
+) -> list[Finding]:
+    """Run UDF002 + PAR001 over every registered app (both registries).
+
+    ``parity_source`` defaults to the concatenated fast-path parity
+    suites found next to the installed tree; tests inject fixture text.
+    """
+    from repro.apps import APP_REGISTRY, EXTENSION_APPS
+
+    prop_classes: list[type] = []
+    mr_classes: list[type] = []
+    for prop_cls, mr_cls, _ in APP_REGISTRY.values():
+        prop_classes.append(prop_cls)
+        mr_classes.append(mr_cls)
+    for prop_cls, mr_cls in EXTENSION_APPS.values():
+        if prop_cls is not None:
+            prop_classes.append(prop_cls)
+        if mr_cls is not None:
+            mr_classes.append(mr_cls)
+
+    if parity_source is None:
+        parity_source = _default_parity_source()
+
+    pgraph = make_contract_pgraph()
+    findings: list[Finding] = []
+    for cls in prop_classes:
+        findings.extend(verify_propagation_app(cls, pgraph))
+    for cls in mr_classes:
+        findings.extend(verify_mapreduce_app(cls, pgraph))
+    findings.extend(
+        check_array_parity(prop_classes + mr_classes, parity_source))
+    return findings
+
+
+#: test files that count as registered scalar-vs-array parity suites
+PARITY_SUITES: tuple[str, ...] = (
+    "tests/test_transfer_fastpath.py",
+    "tests/test_mr_fastpath.py",
+)
+
+
+def _default_parity_source() -> str:
+    import os
+
+    import repro
+
+    repo_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(repro.__file__))))
+    chunks: list[str] = []
+    for rel in PARITY_SUITES:
+        candidate = os.path.join(repo_root, *rel.split("/"))
+        try:
+            with open(candidate, encoding="utf-8") as fh:
+                chunks.append(fh.read())
+        except OSError:
+            continue
+    return "\n".join(chunks)

@@ -1,0 +1,139 @@
+"""``repro check`` orchestration: discover files, run every pass.
+
+One :func:`check_paths` call is the whole gate: determinism lints
+(DET001–DET004), UDF purity (UDF001), annotation completeness
+(TYP001) and counter-use collection run per file; the cross-file
+passes (CNT001/CNT002 against ``CANONICAL_COUNTERS``, the dynamic
+UDF002/PAR001 contract verification over the app registries) run once
+over the accumulated state.  CNT002 ("registered but never touched")
+only fires when the scan actually covered the runtime tree — a partial
+path list cannot prove a counter is unused.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis import contracts, counters, determinism, typing_gate
+from repro.analysis.findings import (
+    Finding,
+    apply_suppressions,
+    collect_suppressions,
+    findings_to_json,
+    render_findings,
+)
+
+__all__ = ["CheckReport", "iter_python_files", "check_paths"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules",
+                        ".mypy_cache", ".ruff_cache", ".pytest_cache"})
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    contracts_ran: bool = False
+    registry_audited: bool = False
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def render(self) -> str:
+        lines = []
+        body = render_findings(self.findings)
+        if body:
+            lines.append(body)
+        suppressed = len(self.findings) - len(self.active)
+        summary = (
+            f"repro check: {self.files_scanned} files, "
+            f"{len(self.active)} finding(s), {suppressed} suppressed"
+        )
+        if self.contracts_ran:
+            summary += ", contracts verified"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self, paths: list[str]) -> str:
+        return findings_to_json(self.findings, meta={
+            "paths": list(paths),
+            "files_scanned": self.files_scanned,
+            "contracts_ran": self.contracts_ran,
+            "registry_audited": self.registry_audited,
+        })
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.append(path)
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    out.append(os.path.join(root, name))
+    return sorted(set(out))
+
+
+def check_paths(
+    paths: list[str],
+    *,
+    contracts_pass: bool = True,
+    counters_pass: bool = True,
+    typing_pass: bool = True,
+) -> CheckReport:
+    """Run the full static-analysis gate over ``paths``."""
+    report = CheckReport()
+    uses: list[counters.CounterUse] = []
+    suppressions: dict[str, dict[int, set[str]]] = {}
+    saw_registry = False
+
+    for path in iter_python_files(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            report.findings.append(
+                Finding("E999", path, 1, f"unreadable source ({exc})"))
+            continue
+        report.files_scanned += 1
+        norm = path.replace("\\", "/")
+        report.findings.extend(determinism.lint_source(source, path))
+        report.findings.extend(contracts.check_udf_purity(source, path))
+        if typing_pass:
+            report.findings.extend(
+                typing_gate.check_annotations(source, path))
+        if counters_pass:
+            file_uses = counters.collect_counter_uses(source, path)
+            uses.extend(file_uses)
+            if file_uses:
+                suppressions[path] = collect_suppressions(source)
+            if norm.endswith("repro/runtime/events.py"):
+                saw_registry = True
+
+    if counters_pass:
+        for f in counters.check_counter_uses(uses):
+            report.findings.extend(apply_suppressions(
+                [f], suppressions.get(f.path, {})))
+        if saw_registry:
+            # the scan covered the runtime tree: absence is provable
+            report.findings.extend(counters.check_registry_coverage(uses))
+            report.registry_audited = True
+
+    if contracts_pass:
+        report.findings.extend(contracts.verify_registered_apps())
+        report.contracts_ran = True
+
+    return report

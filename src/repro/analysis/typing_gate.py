@@ -1,0 +1,134 @@
+"""Strict typing gate (TYP001) plus an optional mypy bridge.
+
+The container this repo develops in has no mypy, so the gate has two
+layers:
+
+* **TYP001** — a stdlib AST annotation-completeness lint over the
+  strict modules (``hashing.py``, ``runtime/``, ``mapreduce/``,
+  ``propagation/``): every top-level and method ``def`` must annotate
+  every parameter (``self``/``cls`` excepted) and its return type.
+  This is the subset of mypy-strict that is checkable without a type
+  checker, and it is what keeps the strict surface honest locally.
+* **mypy** — when installed (CI installs it; see the ``check`` job),
+  :func:`run_mypy` shells out with the pyproject config, which turns
+  on ``disallow_untyped_defs`` for the same strict modules.  When mypy
+  is absent the bridge reports that it skipped rather than failing, so
+  ``repro check`` degrades gracefully on dev boxes.
+
+Nested functions (closures like an engine's ``emit``) are exempt from
+TYP001: they are implementation detail of an annotated parent and mypy
+infers them from context.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import subprocess
+import sys
+
+from repro.analysis.findings import (
+    Finding,
+    apply_suppressions,
+    collect_suppressions,
+)
+
+__all__ = ["STRICT_PREFIXES", "check_annotations", "mypy_available",
+           "run_mypy"]
+
+#: module paths (relative to the ``repro`` package) under strict typing
+STRICT_PREFIXES: tuple[str, ...] = (
+    "hashing.py", "runtime/", "mapreduce/", "propagation/",
+)
+
+
+def _module_path(path: str) -> str | None:
+    norm = path.replace("\\", "/")
+    idx = norm.rfind("repro/")
+    if idx < 0:
+        return None
+    return norm[idx + len("repro/"):]
+
+
+class _AnnotationVisitor(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: list[Finding] = []
+        self._depth = 0
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        missing: list[str] = []
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for i, arg in enumerate(positional):
+            if i == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is None:
+                missing.append("*" + star.arg)
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            self.findings.append(Finding(
+                "TYP001", self.path, node.lineno,
+                f"{node.name}() in a strict-typed module is missing "
+                f"annotations for: {', '.join(missing)}",
+            ))
+
+    def _visit_def(self, node: ast.FunctionDef | ast.AsyncFunctionDef
+                   ) -> None:
+        if self._depth == 0:
+            self._check(node)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_def(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_def(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+
+def check_annotations(source: str, path: str) -> list[Finding]:
+    """TYP001 over ``source`` if ``path`` is inside the strict surface."""
+    mod = _module_path(path)
+    if mod is None or not mod.startswith(STRICT_PREFIXES):
+        return []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []  # E999 is reported by the determinism pass
+    visitor = _AnnotationVisitor(path)
+    visitor.visit(tree)
+    return apply_suppressions(visitor.findings,
+                              collect_suppressions(source))
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_mypy(paths: list[str]) -> tuple[bool, str]:
+    """(ok, output) from mypy, or (True, skip-note) when not installed.
+
+    CI installs mypy and runs this via ``repro check --mypy``; local
+    dev boxes without mypy skip cleanly — TYP001 still gates.
+    """
+    if not mypy_available():
+        return True, "mypy not installed; skipped (TYP001 still enforced)"
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", *paths],
+        capture_output=True, text=True, check=False,
+    )
+    return proc.returncode == 0, proc.stdout + proc.stderr

@@ -100,6 +100,29 @@ def _build_parser() -> argparse.ArgumentParser:
     ginfo.add_argument("--seed", type=int, default=0)
     ginfo.add_argument("--no-ier", action="store_true",
                        help="skip the (slow) partition-quality curve")
+
+    check = sub.add_parser(
+        "check",
+        help="run the domain-aware static-analysis gate "
+             "(determinism lints, UDF contracts, counter conservation, "
+             "typing)",
+    )
+    check.add_argument("paths", nargs="*", default=["src"],
+                       help="files/directories to scan (default: src)")
+    check.add_argument("--json", dest="json_path", default=None,
+                       help="write the repro-check/v1 findings document "
+                            "to this path")
+    check.add_argument("--contracts", dest="contracts",
+                       action="store_true", default=True,
+                       help="verify UDF contracts dynamically over the "
+                            "app registries (default; includes VDD's "
+                            "virtual-vertex combine path)")
+    check.add_argument("--no-contracts", dest="contracts",
+                       action="store_false",
+                       help="skip the dynamic UDF contract verification")
+    check.add_argument("--mypy", action="store_true",
+                       help="also run mypy with the pyproject config "
+                            "(skips cleanly when mypy is not installed)")
     return parser
 
 
@@ -135,11 +158,10 @@ def _deploy_and_run(args):
     or ``(None, 0.0)`` when the app has no implementation for the
     requested engine (an error has been printed).
     """
-    import time
-
     from repro.apps import APP_REGISTRY, EXTENSION_APPS
     from repro.bench.workloads import make_cluster
     from repro.core import Surfer
+    from repro.runtime.events import wall_timer
 
     symmetrize = args.app in ("CC", "DIAM")
     graph = _make_graph(args, symmetrize=symmetrize)
@@ -158,7 +180,7 @@ def _deploy_and_run(args):
         prop_cls, mr_cls = EXTENSION_APPS[args.app]
         iterations = args.iterations or 50
         until = True
-    wall_start = time.perf_counter()
+    timer = wall_timer()
     if args.engine == "mapreduce":
         if mr_cls is None:
             print(f"{args.app} has no MapReduce implementation",
@@ -172,7 +194,7 @@ def _deploy_and_run(args):
             local_opts=not args.no_local_opts,
             until_convergence=until,
         )
-    return job, time.perf_counter() - wall_start
+    return job, timer.elapsed()
 
 
 def _print_metrics(job) -> None:
@@ -310,22 +332,21 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_partition(args) -> int:
-    import time
-
     from repro.core.bandwidth_aware import (
         bandwidth_aware_partition,
         oblivious_partition,
     )
     from repro.core.persist import save_plan
     from repro.partitioning.metrics import inner_edge_ratio
+    from repro.runtime.events import wall_timer
 
     graph = _make_graph(args)
     topology = _make_topology(args.topology, args.machines)
-    start = time.time()
+    timer = wall_timer()
     build = (bandwidth_aware_partition if args.layout == "bandwidth-aware"
              else oblivious_partition)
     plan = build(graph, topology, args.parts, seed=args.seed)
-    elapsed = time.time() - start
+    elapsed = timer.elapsed()
     save_plan(plan, args.output)
     print(f"partitioned {graph.num_vertices} vertices / "
           f"{graph.num_edges} edges into {plan.num_parts} parts "
@@ -368,6 +389,25 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.analysis.runner import check_paths
+    from repro.analysis.typing_gate import run_mypy
+
+    report = check_paths(list(args.paths), contracts_pass=args.contracts)
+    print(report.render())
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json(list(args.paths)))
+        print(f"findings JSON written to {args.json_path}")
+    exit_code = report.exit_code
+    if args.mypy:
+        ok, output = run_mypy(list(args.paths))
+        print(output.strip())
+        if not ok:
+            exit_code = 1
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -377,6 +417,7 @@ def main(argv: list[str] | None = None) -> int:
         "partition": _cmd_partition,
         "info": _cmd_info,
         "graphinfo": _cmd_graphinfo,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -26,6 +26,7 @@ from repro.errors import GraphError
 from repro.graph.digraph import Graph
 
 __all__ = [
+    "as_generator",
     "rmat",
     "small_world",
     "composite_social_graph",
@@ -36,13 +37,27 @@ __all__ = [
 ]
 
 
+def as_generator(seed: int | np.random.Generator) -> np.random.Generator:
+    """One seeded Generator for every generator in this module.
+
+    An ``int`` seeds a fresh ``default_rng`` — bit-identical across
+    processes and to the historical ``seed=<int>`` outputs.  Passing a
+    ``Generator`` threads one RNG through several generator calls (each
+    call advances it), which keeps a multi-graph experiment on a single
+    seed while every individual draw stays reproducible.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
 def rmat(
     scale: int,
     edge_factor: int = 8,
     a: float = 0.57,
     b: float = 0.19,
     c: float = 0.19,
-    seed: int = 0,
+    seed: int | np.random.Generator = 0,
     dedup: bool = True,
 ) -> Graph:
     """R-MAT graph with ``2**scale`` vertices and ``edge_factor * n`` edges.
@@ -59,7 +74,7 @@ def rmat(
         raise GraphError("R-MAT probabilities must be non-negative")
     n = 1 << scale
     m = edge_factor * n
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     src = np.zeros(m, dtype=np.int64)
     dst = np.zeros(m, dtype=np.int64)
     # probability of descending into the "right half" for src / dst bits
@@ -85,7 +100,8 @@ def rmat(
 
 
 def small_world(
-    num_vertices: int, k: int = 4, rewire_p: float = 0.05, seed: int = 0
+    num_vertices: int, k: int = 4, rewire_p: float = 0.05,
+    seed: int | np.random.Generator = 0,
 ) -> Graph:
     """Directed Watts–Strogatz small-world graph.
 
@@ -97,7 +113,7 @@ def small_world(
     if not 0 <= rewire_p <= 1:
         raise GraphError("rewire_p must lie in [0, 1]")
     k = min(k, max(num_vertices - 1, 0))
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     src = np.repeat(np.arange(num_vertices, dtype=np.int64), k)
     offsets = np.tile(np.arange(1, k + 1, dtype=np.int64), num_vertices)
     dst = (src + offsets) % num_vertices
@@ -118,7 +134,7 @@ def composite_social_graph(
     community_size: int = 256,
     k: int = 6,
     p_r: float = 0.05,
-    seed: int = 0,
+    seed: int | np.random.Generator = 0,
     community_model: str = "rmat",
     locality: float = 0.7,
 ) -> Graph:
@@ -147,7 +163,7 @@ def composite_social_graph(
         raise GraphError("locality must lie in [0, 1]")
     if community_model not in ("rmat", "small-world"):
         raise GraphError("community_model must be 'rmat' or 'small-world'")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     n = num_communities * community_size
     all_src: list[np.ndarray] = []
     all_dst: list[np.ndarray] = []
@@ -185,11 +201,12 @@ def composite_social_graph(
     )
 
 
-def erdos_renyi(num_vertices: int, num_edges: int, seed: int = 0) -> Graph:
+def erdos_renyi(num_vertices: int, num_edges: int,
+                seed: int | np.random.Generator = 0) -> Graph:
     """Uniform random directed graph with ~``num_edges`` distinct edges."""
     if num_vertices <= 0:
         raise GraphError("num_vertices must be positive")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     src = rng.integers(0, num_vertices, size=num_edges)
     dst = rng.integers(0, num_vertices, size=num_edges)
     return Graph.from_edges(

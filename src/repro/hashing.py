@@ -31,7 +31,7 @@ _KNUTH = 2654435761
 _MASK32 = 0xFFFFFFFF
 
 
-def stable_hash(key) -> int:
+def stable_hash(key: object) -> int:
     """A 32-bit hash of ``key`` that is identical across processes."""
     if isinstance(key, (int, np.integer)):
         return (int(key) * _KNUTH) & _MASK32

@@ -39,7 +39,7 @@ class MapReduceApp:
     # ------------------------------------------------------------------
     # Lifecycle (mirrors PropagationApp)
     # ------------------------------------------------------------------
-    def setup(self, pgraph) -> Any:
+    def setup(self, pgraph: Any) -> Any:
         """Create the iteration state."""
         return None
 
@@ -59,15 +59,17 @@ class MapReduceApp:
     # ------------------------------------------------------------------
     # User-defined functions
     # ------------------------------------------------------------------
-    def map(self, partition: int, pgraph, state: Any, emit: Emit) -> None:
+    def map(self, partition: int, pgraph: Any, state: Any,
+            emit: Emit) -> None:
         """Process one graph partition, emitting (key, value) pairs."""
         raise JobError(f"{self.name}: map() not implemented")
 
-    def reduce(self, key, values: list, state: Any, emit: Emit) -> None:
+    def reduce(self, key: Any, values: list, state: Any,
+               emit: Emit) -> None:
         """Fold all values of ``key``, emitting output pairs."""
         raise JobError(f"{self.name}: reduce() not implemented")
 
-    def combine(self, key, values: list, state: Any):
+    def combine(self, key: Any, values: list, state: Any) -> Any:
         """Map-side combiner: fold one key's values into a single value.
 
         Called per distinct key on a mapper's output (values in emission
@@ -80,7 +82,8 @@ class MapReduceApp:
         raise JobError(f"{self.name}: combine() not implemented")
 
     # -- vectorized (array-at-a-time) variants --------------------------
-    def map_array(self, partition: int, pgraph, state: Any):
+    def map_array(self, partition: int, pgraph: Any,
+                  state: Any) -> tuple[np.ndarray, np.ndarray] | None:
         """Vectorized ``map``: columnar ``(keys, values)`` for a partition.
 
         Opt-in hook of the MapReduce fast path.  Must return two aligned
@@ -95,7 +98,8 @@ class MapReduceApp:
         return None
 
     def reduce_array(self, keys: np.ndarray, bounds: np.ndarray,
-                     values: np.ndarray, state: Any):
+                     values: np.ndarray,
+                     state: Any) -> list[tuple[Any, Any]] | None:
         """Vectorized ``reduce`` over one reducer's sorted groups.
 
         ``keys`` holds the reducer's distinct keys sorted ascending,
@@ -114,16 +118,16 @@ class MapReduceApp:
     # ------------------------------------------------------------------
     # Cost-model sizing hooks
     # ------------------------------------------------------------------
-    def key_nbytes(self, key) -> float:
+    def key_nbytes(self, key: Any) -> float:
         return float(VERTEX_ID_BYTES)
 
-    def value_nbytes(self, value) -> float:
+    def value_nbytes(self, value: Any) -> float:
         return float(VALUE_BYTES)
 
-    def output_nbytes(self, key, value) -> float:
+    def output_nbytes(self, key: Any, value: Any) -> float:
         return self.key_nbytes(key) + self.value_nbytes(value)
 
 
-def kv_nbytes(app: MapReduceApp, key, value) -> float:
+def kv_nbytes(app: MapReduceApp, key: Any, value: Any) -> float:
     """Wire size of one intermediate key/value record."""
     return app.key_nbytes(key) + app.value_nbytes(value)

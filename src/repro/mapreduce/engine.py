@@ -32,7 +32,6 @@ engine's Transfer fast path):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -44,6 +43,7 @@ from repro.errors import JobError
 from repro.hashing import stable_hash, stable_hash_array
 from repro.mapreduce.api import MapReduceApp, kv_nbytes
 from repro.propagation.api import fold_by_dest
+from repro.runtime.events import wall_timer
 from repro.runtime.scheduler import StageScheduler
 from repro.runtime.tasks import StageResult, Task
 
@@ -53,7 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["MapReduceEngine", "RoundReport", "reducer_of"]
 
 
-def reducer_of(key, num_reducers: int) -> int:
+def reducer_of(key: object, num_reducers: int) -> int:
     """Hash partitioner of the shuffle (Knuth hash for int keys).
 
     Built on :func:`repro.hashing.stable_hash` so every mapper — in any
@@ -120,7 +120,7 @@ class MapReduceEngine:
         assignment: np.ndarray | None = None,
         vectorized: bool | None = None,
         combiner: bool = False,
-    ):
+    ) -> None:
         self.pgraph = pgraph
         self.store = store
         self.cluster = cluster
@@ -176,7 +176,7 @@ class MapReduceEngine:
         scheduler: StageScheduler,
     ) -> tuple[dict, RoundReport]:
         """Run one map+shuffle+reduce round; returns (outputs, report)."""
-        wall_start = time.perf_counter()
+        timer = wall_timer()
         num_reducers = self.cluster.num_machines
         if self.combiner:
             self._check_combiner(app)
@@ -236,9 +236,9 @@ class MapReduceEngine:
                 fetches=fetches,
                 disk_penalty=penalty,
             ))
-        map_wall = time.perf_counter() - wall_start
+        map_wall = timer.elapsed()
         map_result = scheduler.run_stage(map_tasks)
-        wall_start = time.perf_counter()
+        timer = wall_timer()
 
         # -------- Reduce phase ------------------------------------------
         outputs: dict = {}
@@ -289,7 +289,7 @@ class MapReduceEngine:
                 receives=inbound,
                 input_transfers=inbound,
             ))
-        reduce_wall = time.perf_counter() - wall_start
+        reduce_wall = timer.elapsed()
         reduce_result = scheduler.run_stage(reduce_tasks)
 
         network_bytes = sum(

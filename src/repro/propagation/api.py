@@ -57,7 +57,7 @@ class PropagationApp:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def setup(self, pgraph) -> Any:
+    def setup(self, pgraph: Any) -> Any:
         """Create the iteration state (ranks, flags, ...)."""
         return None
 
@@ -86,20 +86,21 @@ class PropagationApp:
         """Whether vertex ``u`` participates in the Transfer stage."""
         return True
 
-    def transfer(self, u: int, v: int, state: Any):
+    def transfer(self, u: int, v: int, state: Any) -> Any:
         """Value exported from ``u`` to its out-neighbor ``v`` (or None)."""
         raise JobError(f"{self.name}: transfer() not implemented")
 
-    def combine(self, v: int, values: list, state: Any):
+    def combine(self, v: int, values: list, state: Any) -> Any:
         """Fold the bag of ``values`` that arrived at ``v``."""
         raise JobError(f"{self.name}: combine() not implemented")
 
-    def merge(self, a, b):
+    def merge(self, a: Any, b: Any) -> Any:
         """Associative pairwise merge (required if ``is_associative``)."""
         raise JobError(f"{self.name}: merge() not implemented")
 
     # -- vectorized (array-at-a-time) variants --------------------------
-    def select_array(self, vertices: np.ndarray, state: Any):
+    def select_array(self, vertices: np.ndarray,
+                     state: Any) -> np.ndarray | None:
         """Vectorized ``select``: boolean mask over ``vertices``.
 
         ``None`` (the default) means *all selected*, matching the default
@@ -108,7 +109,8 @@ class PropagationApp:
         """
         return None
 
-    def transfer_array(self, src: np.ndarray, dst: np.ndarray, state: Any):
+    def transfer_array(self, src: np.ndarray, dst: np.ndarray,
+                       state: Any) -> np.ndarray | None:
         """Vectorized ``transfer``: one value per edge ``(src[i], dst[i])``.
 
         Opt-in hook of the Transfer fast path.  Must return an array
@@ -131,29 +133,29 @@ class PropagationApp:
         """Yield ``(virtual_key, value)`` pairs from vertex ``u``."""
         raise JobError(f"{self.name}: virtual_transfer() not implemented")
 
-    def virtual_combine(self, key, values: list, state: Any):
+    def virtual_combine(self, key: Any, values: list, state: Any) -> Any:
         """Fold the values that arrived at virtual vertex ``key``."""
         raise JobError(f"{self.name}: virtual_combine() not implemented")
 
     # ------------------------------------------------------------------
     # Cost-model sizing hooks
     # ------------------------------------------------------------------
-    def value_nbytes(self, value) -> float:
+    def value_nbytes(self, value: Any) -> float:
         """On-wire payload size of one transfer value."""
         return float(VALUE_BYTES)
 
-    def result_nbytes(self, v, value) -> float:
+    def result_nbytes(self, v: Any, value: Any) -> float:
         """On-disk size of one combine output record."""
         return float(VALUE_BYTES)
 
 
-def message_nbytes(app: PropagationApp, value) -> float:
+def message_nbytes(app: PropagationApp, value: Any) -> float:
     """Full message size: destination id plus payload."""
     return VERTEX_ID_BYTES + app.value_nbytes(value)
 
 
 def fold_by_dest(
-    dests: np.ndarray, values: np.ndarray, ufunc
+    dests: np.ndarray, values: np.ndarray, ufunc: Any
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Left-fold ``values`` per destination, in input (emission) order.
 
@@ -204,7 +206,7 @@ class MessageBox:
     #: and are always sized against that iteration's single app.
     _payload: float | None = field(default=None, repr=False, compare=False)
 
-    def add(self, dest, value) -> None:
+    def add(self, dest: Any, value: Any) -> None:
         if self.merge is None:
             self.data.setdefault(dest, []).append(value)
         elif dest in self.data:
@@ -216,7 +218,8 @@ class MessageBox:
 
     @classmethod
     def from_arrays(cls, dests: np.ndarray, values: np.ndarray,
-                    merge=None, ufunc=None) -> "MessageBox":
+                    merge: Any = None,
+                    ufunc: Any = None) -> "MessageBox":
         """Build a box from aligned destination/value arrays.
 
         The arrays are taken in *emission order* (the order the scalar
@@ -258,7 +261,7 @@ class MessageBox:
         box.counts = dict(zip(keys, counts.tolist()))
         return box
 
-    def values_of(self, dest) -> list:
+    def values_of(self, dest: Any) -> list:
         """The bag of values for ``dest`` (singleton when merged)."""
         if dest not in self.data:
             return []

@@ -25,7 +25,6 @@ which is exactly the traffic gap Tables 2 and 3 measure.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING
 
 from dataclasses import dataclass, field
@@ -39,6 +38,7 @@ from repro.errors import JobError
 from repro.graph.io import VALUE_BYTES
 from repro.hashing import stable_hash
 from repro.propagation.api import MessageBox, PropagationApp, fold_by_dest
+from repro.runtime.events import wall_timer
 from repro.runtime.scheduler import StageScheduler
 from repro.runtime.tasks import StageResult, Task
 
@@ -48,7 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["IterationReport", "PropagationEngine", "virtual_partition"]
 
 
-def virtual_partition(key, num_parts: int) -> int:
+def virtual_partition(key: object, num_parts: int) -> int:
     """Deterministic partition of a virtual vertex key (hash routing).
 
     Uses :func:`repro.hashing.stable_hash`, never the salted built-in
@@ -101,7 +101,7 @@ class PropagationEngine:
         values_io_fraction: np.ndarray | None = None,
         assignment: np.ndarray | None = None,
         vectorized: bool | None = None,
-    ):
+    ) -> None:
         """``values_io_fraction[p]`` scales the per-iteration value I/O of
         partition ``p`` (used by cascaded propagation to model skipped
         intermediate reads/writes).  ``assignment[p]`` is the machine the
@@ -142,7 +142,7 @@ class PropagationEngine:
     ) -> tuple[dict, IterationReport]:
         """Execute one iteration; returns (combined results, report)."""
         num_parts = self.pgraph.num_parts
-        wall_start = time.perf_counter()
+        timer = wall_timer()
         transfers = [
             self._run_transfer_udfs(app, state, p) for p in range(num_parts)
         ]
@@ -150,10 +150,10 @@ class PropagationEngine:
             self._transfer_task(app, p, transfers[p])
             for p in range(num_parts)
         ]
-        transfer_wall = time.perf_counter() - wall_start
+        transfer_wall = timer.elapsed()
         transfer_result = scheduler.run_stage(transfer_tasks)
 
-        wall_start = time.perf_counter()
+        timer = wall_timer()
         inboxes, inbox_sources = self._route(app, transfers)
         combined: dict = {}
         combine_tasks: list[Task] = []
@@ -163,7 +163,7 @@ class PropagationEngine:
             )
             combine_tasks.append(task)
             combined.update(part_combined)
-        combine_wall = time.perf_counter() - wall_start
+        combine_wall = timer.elapsed()
         combine_result = scheduler.run_stage(combine_tasks)
 
         if self.local_opts:
@@ -372,8 +372,8 @@ class PropagationEngine:
         result: _PartitionTransfer,
         dests: np.ndarray,
         values: np.ndarray,
-        box_merge,
-        ufunc,
+        box_merge: Any,
+        ufunc: Any,
     ) -> None:
         """Group cross-partition messages into per-destination boxes.
 

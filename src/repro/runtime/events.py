@@ -27,7 +27,9 @@ per job section, one lane (thread) per machine, counters attached as
 from __future__ import annotations
 
 import json
+import time as _time
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 __all__ = [
     "Span",
@@ -37,7 +39,104 @@ __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "reconcile",
+    "CANONICAL_COUNTERS",
+    "DYNAMIC_COUNTER_PREFIXES",
+    "WallTimer",
+    "wall_timer",
 ]
+
+
+# ----------------------------------------------------------------------
+# Canonical counter schema
+# ----------------------------------------------------------------------
+#: Every counter name the runtime increments, with its meaning.  This is
+#: the *registration side* of the counter-conservation contract: the
+#: ``repro check`` counter pass (``repro.analysis.counters``) statically
+#: cross-references each ``metrics.add("...")`` site in the engines, the
+#: scheduler, the network model and the fault path against this table,
+#: in both directions — an increment of an unregistered name and a
+#: registered name that nothing increments are both CI failures.  Adding
+#: a counter therefore always touches this table, which is what keeps
+#: ``reconcile()`` and the BENCH JSON consumers honest about what exists.
+CANONICAL_COUNTERS: dict[str, str] = {
+    # -- stage scheduler ------------------------------------------------
+    "scheduler.tasks_executed": "successful task executions",
+    "scheduler.task_failures": "executions cut short by a fault",
+    "scheduler.stages": "barrier stages run",
+    "scheduler.retries": "task re-dispatches after failures",
+    "scheduler.wall_seconds": "real Python seconds spent scheduling",
+    "scheduler.re_replication_bytes":
+        "background replica-repair traffic (audited by reconcile())",
+    "scheduler.spec_charged_disk_read_bytes":
+        "disk reads charged to spec-cancelled originals",
+    "scheduler.spec_charged_disk_write_bytes":
+        "disk writes charged to spec-cancelled originals",
+    "scheduler.spec_charged_network_bytes":
+        "network traffic charged to spec-cancelled originals",
+    # -- network model --------------------------------------------------
+    "network.bytes_total": "all traffic put on the wire",
+    "network.transfers": "point-to-point transfer count",
+    "network.bytes_cross_pod": "traffic crossing a pod boundary",
+    "network.bytes_background": "background (re-replication) flows",
+    # -- propagation engine ---------------------------------------------
+    "propagation.iterations": "propagation iterations run",
+    "propagation.messages_emitted": "messages produced by transfer()",
+    "propagation.messages_shipped": "messages that crossed partitions",
+    "propagation.network_bytes": "cross-partition payload bytes",
+    "propagation.spill_bytes": "boundary spill written to local disk",
+    "propagation.locally_propagated": "vertices combined in memory",
+    # -- MapReduce engine -----------------------------------------------
+    "mapreduce.rounds": "MapReduce rounds run",
+    "mapreduce.map_records": "records emitted by map()",
+    "mapreduce.shuffle_bytes": "spilled/shuffled bytes (post-combine)",
+    "mapreduce.network_bytes": "shuffle bytes that crossed machines",
+    "mapreduce.shuffle_records": "records actually shuffled",
+    "mapreduce.shuffle_bytes_precombine":
+        "shuffle volume before map-side combining",
+    # -- simulator overhead ---------------------------------------------
+    "wall.udf_seconds": "real Python seconds spent in UDFs",
+}
+
+#: Prefixes under which counter names may be minted dynamically (one
+#: counter per :class:`~repro.runtime.tasks.RecoveryEvent` kind).  The
+#: static counter pass accepts ``add(f"<prefix>{...}")`` only for these.
+DYNAMIC_COUNTER_PREFIXES: tuple[str, ...] = ("recovery.",)
+
+
+# ----------------------------------------------------------------------
+# Sanctioned wall-clock source
+# ----------------------------------------------------------------------
+class WallTimer:
+    """Measures *real* Python time for span self-time accounting.
+
+    The simulated runtime must never consult the wall clock for model
+    time — the DET004 lint forbids ``time.time``/``time.perf_counter``
+    inside the engines and the scheduler.  The one legitimate use is
+    measuring simulator overhead (``Span.wall_self_seconds``,
+    ``wall.udf_seconds``), and this class is the single sanctioned way
+    to do it.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = _time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Real seconds since this timer was created (or last restart)."""
+        return _time.perf_counter() - self._start
+
+    def restart(self) -> float:
+        """Return :meth:`elapsed` and reset the start point to now."""
+        now = _time.perf_counter()
+        lap = now - self._start
+        self._start = now
+        return lap
+
+
+def wall_timer() -> WallTimer:
+    """Start a :class:`WallTimer` (the sanctioned wall-clock API)."""
+    return WallTimer()
 
 
 @dataclass(frozen=True)
@@ -102,7 +201,7 @@ class MetricsRegistry:
     PRs because the BENCH JSON reads them.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
 
@@ -140,7 +239,7 @@ class MetricsRegistry:
 class EventStream:
     """The per-job collector every runtime component emits into."""
 
-    def __init__(self, metrics: MetricsRegistry | None = None):
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -149,7 +248,7 @@ class EventStream:
     def span(self, span: Span) -> None:
         self.spans.append(span)
 
-    def emit(self, **kwargs) -> Span:
+    def emit(self, **kwargs: Any) -> Span:
         s = Span(**kwargs)
         self.spans.append(s)
         return s
@@ -161,7 +260,7 @@ class EventStream:
             Instant(time, name, kind, machine, partition, nbytes)
         )
 
-    def annotate_last(self, **changes) -> None:
+    def annotate_last(self, **changes: Any) -> None:
         """Replace fields of the most recent span (frozen dataclass)."""
         if self.spans:
             self.spans[-1] = replace(self.spans[-1], **changes)
@@ -295,7 +394,7 @@ def chrome_trace(stream: EventStream) -> dict:
     }
 
 
-def write_chrome_trace(stream: EventStream, path) -> None:
+def write_chrome_trace(stream: EventStream, path: str) -> None:
     """Write the Chrome-trace JSON for ``stream`` to ``path``."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(chrome_trace(stream), fh, indent=1)
@@ -304,7 +403,7 @@ def write_chrome_trace(stream: EventStream, path) -> None:
 # ----------------------------------------------------------------------
 # Reconciliation: the event stream must agree with the cluster counters
 # ----------------------------------------------------------------------
-def reconcile(job, atol: float = 1e-6) -> list[str]:
+def reconcile(job: Any, atol: float = 1e-6) -> list[str]:
     """Cross-check a job's event stream against its cluster metrics.
 
     Returns a list of human-readable mismatch descriptions (empty means

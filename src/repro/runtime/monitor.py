@@ -16,6 +16,8 @@ Both views share every analysis below.
 
 from __future__ import annotations
 
+from typing import Any
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,7 +29,7 @@ __all__ = ["MachineUtilization", "JobMonitor", "estimate_progress",
            "failed_task_seconds"]
 
 
-def _kind(e) -> str:
+def _kind(e: Any) -> str:
     task = getattr(e, "task", None)
     return task.kind if task is not None else e.kind
 
@@ -106,7 +108,7 @@ class JobMonitor:
 
     def __init__(self, executions: list[TaskExecution] | None = None,
                  recovery_events: list[RecoveryEvent] | None = None,
-                 events: EventStream | None = None):
+                 events: EventStream | None = None) -> None:
         if executions is None:
             executions = events.task_spans() if events is not None else []
         self.executions = list(executions)

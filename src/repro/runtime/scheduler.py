@@ -34,14 +34,13 @@ time via :meth:`FaultPlan.advance`.
 
 from __future__ import annotations
 
-import time
 from collections import deque
 
 from repro.errors import DataLossError, SchedulingError
 from repro.cluster.cluster import Cluster
 from repro.cluster.faults import FaultPlan, Outage
 from repro.cluster.storage import PartitionStore
-from repro.runtime.events import EventStream, Span
+from repro.runtime.events import EventStream, Span, wall_timer
 from repro.runtime.tasks import (
     RecoveryEvent,
     StageResult,
@@ -107,7 +106,7 @@ class StageScheduler:
         max_retries: int = MAX_RETRIES,
         re_replication: bool = True,
         events: EventStream | None = None,
-    ):
+    ) -> None:
         """``pipelined=True`` overlaps consecutive tasks' phases on a
         machine: while one task's output streams over the network, the
         next task's partition read proceeds on the disk (flow-shop
@@ -144,7 +143,7 @@ class StageScheduler:
     # ------------------------------------------------------------------
     def run_stage(self, tasks: list[Task]) -> StageResult:
         """Run ``tasks`` to completion and barrier all machine clocks."""
-        wall_start = time.perf_counter()
+        timer = wall_timer()
         start_time = max(
             (m.clock for m in self.cluster.machines), default=0.0
         )
@@ -196,7 +195,7 @@ class StageScheduler:
                 m.clock = max(m.clock, end_time)
         self.executions.extend(stage_execs)
         self._record_stage(tasks, stage_execs, start_time, end_time,
-                           failures, time.perf_counter() - wall_start)
+                           failures, timer.elapsed())
         return StageResult(
             executions=stage_execs,
             start_time=start_time,
@@ -258,7 +257,7 @@ class StageScheduler:
                             kind, machine, partition, nbytes)
         self.events.metrics.add(f"recovery.{kind}")
 
-    def _fail_over(self, machine_id: int, tasks, at: float,
+    def _fail_over(self, machine_id: int, tasks: list[Task], at: float,
                    failed: deque) -> None:
         """Queue lost tasks for re-dispatch, detected one heartbeat later."""
         detect = at + self.heartbeat

@@ -18,6 +18,8 @@ carry.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from repro.runtime.tasks import RecoveryEvent, TaskExecution
@@ -26,12 +28,12 @@ __all__ = ["io_rate_timeline", "machine_timeline", "recovery_timeline",
            "recovery_event_counts"]
 
 
-def _task_name(e) -> str:
+def _task_name(e: Any) -> str:
     task = getattr(e, "task", None)
     return task.name if task is not None else e.name
 
 
-def _disk_bytes(e) -> float:
+def _disk_bytes(e: Any) -> float:
     """Read+write disk bytes of an execution or span."""
     task = getattr(e, "task", None)
     if task is not None:
@@ -80,7 +82,7 @@ def io_rate_timeline(
     return times, bytes_per_bucket / bucket_seconds
 
 
-def _planned_duration(execution) -> float:
+def _planned_duration(execution: Any) -> float:
     """Duration the task would have had if it ran to completion.
 
     The scheduler records the full dispatched duration on every

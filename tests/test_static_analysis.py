@@ -1,0 +1,428 @@
+"""The `repro check` gate: every rule positive + negative, suppression
+semantics, contract verification on good and deliberately-broken apps,
+counter conservation, and the self-lint (the tree itself must be clean).
+
+Purity fixtures are source *strings* (never real classes subclassing
+``PropagationApp``/``MapReduceApp`` with impure bodies) so that scanning
+this test file with ``repro check tests`` stays clean.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import (
+    check_array_parity,
+    check_udf_purity,
+    verify_mapreduce_app,
+    verify_propagation_app,
+    verify_registered_apps,
+)
+from repro.analysis.counters import (
+    check_counter_uses,
+    check_registry_coverage,
+    collect_counter_uses,
+)
+from repro.analysis.determinism import lint_source
+from repro.analysis.findings import (
+    RULES,
+    collect_suppressions,
+    findings_to_json,
+)
+from repro.analysis.runner import check_paths
+from repro.analysis.typing_gate import check_annotations
+from repro.apps import (
+    APP_REGISTRY,
+    DegreeDistributionPropagation,
+    NetworkRankingMapReduce,
+    NetworkRankingPropagation,
+)
+from repro.mapreduce.api import MapReduceApp
+
+ENGINE = "src/repro/mapreduce/engine.py"
+
+
+def rules_of(findings, active_only=True):
+    return sorted({f.rule for f in findings
+                   if not (active_only and f.suppressed)})
+
+
+# ---------------------------------------------------------------------------
+# DET001 — salted hash()/id() routing
+# ---------------------------------------------------------------------------
+
+class TestDet001:
+    def test_bare_hash_in_engine_fails(self):
+        # acceptance criterion: a bare hash() in mapreduce/engine.py
+        # must fail the gate with DET001
+        src = "def reducer_of(key, n):\n    return hash(key) % n\n"
+        assert rules_of(lint_source(src, ENGINE)) == ["DET001"]
+
+    def test_id_flagged(self):
+        src = "def route(obj, n):\n    return id(obj) % n\n"
+        assert rules_of(lint_source(src, ENGINE)) == ["DET001"]
+
+    def test_dunder_hash_exempt(self):
+        src = ("class K:\n"
+               "    def __hash__(self):\n"
+               "        return hash((self.a, self.b))\n")
+        assert lint_source(src, "src/repro/graph/digraph.py") == []
+
+    def test_stable_hash_clean(self):
+        src = ("from repro.hashing import stable_hash\n"
+               "def route(key, n):\n"
+               "    return stable_hash(key) % n\n")
+        assert lint_source(src, ENGINE) == []
+
+    def test_out_of_package_not_flagged(self):
+        assert lint_source("x = hash('a')\n", "scripts/tool.py") == []
+
+
+# ---------------------------------------------------------------------------
+# DET002 — unseeded randomness
+# ---------------------------------------------------------------------------
+
+class TestDet002:
+    def test_stdlib_random_import_flagged(self):
+        assert rules_of(lint_source("import random\n", ENGINE)) == \
+            ["DET002"]
+        assert rules_of(lint_source("from random import choice\n",
+                                    ENGINE)) == ["DET002"]
+
+    def test_legacy_numpy_global_flagged(self):
+        src = "import numpy as np\nx = np.random.rand(4)\n"
+        assert rules_of(lint_source(src, ENGINE)) == ["DET002"]
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(lint_source(src, ENGINE)) == ["DET002"]
+
+    def test_seeded_default_rng_clean(self):
+        src = "import numpy as np\nrng = np.random.default_rng(7)\n"
+        assert lint_source(src, ENGINE) == []
+
+    def test_bench_and_fault_plan_exempt(self):
+        src = "import random\n"
+        assert lint_source(src, "src/repro/bench/harness.py") == []
+        assert lint_source(src, "src/repro/cluster/faults.py") == []
+
+
+# ---------------------------------------------------------------------------
+# DET003 — unordered set iteration on routing paths
+# ---------------------------------------------------------------------------
+
+class TestDet003:
+    def test_set_literal_iteration_flagged(self):
+        src = "def f(xs):\n    for x in {1, 2, 3}:\n        route(x)\n"
+        assert rules_of(lint_source(
+            src, "src/repro/partitioning/multilevel.py")) == ["DET003"]
+
+    def test_set_variable_iteration_flagged(self):
+        src = ("def f(xs):\n"
+               "    pending = set(xs)\n"
+               "    for x in pending:\n"
+               "        route(x)\n")
+        assert rules_of(lint_source(
+            src, "src/repro/runtime/scheduler.py")) == ["DET003"]
+
+    def test_comprehension_over_set_flagged(self):
+        src = "def f(xs):\n    return [g(x) for x in set(xs)]\n"
+        assert rules_of(lint_source(
+            src, "src/repro/propagation/engine.py")) == ["DET003"]
+
+    def test_sorted_wrapping_clean(self):
+        src = ("def f(xs):\n"
+               "    for x in sorted(set(xs)):\n"
+               "        route(x)\n")
+        assert lint_source(src, "src/repro/mapreduce/engine.py") == []
+
+    def test_out_of_scope_tree_clean(self):
+        src = "def f(xs):\n    for x in set(xs):\n        g(x)\n"
+        assert lint_source(src, "src/repro/graph/analysis.py") == []
+
+
+# ---------------------------------------------------------------------------
+# DET004 — wall clock in simulated-time regions
+# ---------------------------------------------------------------------------
+
+class TestDet004:
+    def test_time_time_flagged(self):
+        src = "import time\nstart = time.time()\n"
+        assert rules_of(lint_source(
+            src, "src/repro/runtime/scheduler.py")) == ["DET004"]
+
+    def test_from_import_alias_flagged(self):
+        src = ("from time import perf_counter as pc\n"
+               "def f():\n    return pc()\n")
+        assert rules_of(lint_source(
+            src, "src/repro/propagation/engine.py")) == ["DET004"]
+
+    def test_events_module_is_the_sanctioned_clock(self):
+        src = "import time\nx = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/runtime/events.py") == []
+
+    def test_out_of_scope_clean(self):
+        src = "import time\nx = time.time()\n"
+        assert lint_source(src, "src/repro/bench/harness.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions + parse errors
+# ---------------------------------------------------------------------------
+
+class TestSuppression:
+    def test_matching_rule_suppressed_but_reported(self):
+        src = ("def f(k, n):\n"
+               "    return hash(k) % n  "
+               "# repro: ignore[DET001] -- fixture\n")
+        fs = lint_source(src, ENGINE)
+        assert len(fs) == 1 and fs[0].suppressed
+
+    def test_star_suppresses_everything(self):
+        src = "import random  # repro: ignore[*] -- fixture\n"
+        fs = lint_source(src, ENGINE)
+        assert [f.suppressed for f in fs] == [True]
+
+    def test_other_rule_marker_does_not_suppress(self):
+        src = ("def f(k, n):\n"
+               "    return hash(k) % n  "
+               "# repro: ignore[DET004] -- wrong rule\n")
+        fs = lint_source(src, ENGINE)
+        assert [f.suppressed for f in fs] == [False]
+
+    def test_marker_inside_string_ignored(self):
+        src = 'msg = "# repro: ignore[DET001]"\n'
+        assert collect_suppressions(src) == {}
+
+    def test_syntax_error_reports_e999(self):
+        fs = lint_source("def broken(:\n", ENGINE)
+        assert rules_of(fs) == ["E999"]
+
+
+# ---------------------------------------------------------------------------
+# Counter conservation
+# ---------------------------------------------------------------------------
+
+class TestCounterConservation:
+    def test_unregistered_counter_fails(self):
+        # acceptance criterion: an unregistered counter must fail CNT001
+        src = ("def g(metrics):\n"
+               "    metrics.add('mapreduce.bogus_counter', 1)\n")
+        uses = collect_counter_uses(src, ENGINE)
+        assert rules_of(check_counter_uses(uses)) == ["CNT001"]
+
+    def test_registered_counter_clean(self):
+        src = "def g(metrics):\n    metrics.add('mapreduce.rounds')\n"
+        uses = collect_counter_uses(src, ENGINE)
+        assert check_counter_uses(uses) == []
+
+    def test_dynamic_prefix_families(self):
+        good = "def g(m, kind):\n    m.add(f'recovery.{kind}')\n"
+        bad = "def g(m, kind):\n    m.add(f'mystery.{kind}')\n"
+        assert check_counter_uses(
+            collect_counter_uses(good, ENGINE)) == []
+        assert rules_of(check_counter_uses(
+            collect_counter_uses(bad, ENGINE))) == ["CNT001"]
+
+    def test_dict_get_not_mistaken_for_counter(self):
+        src = "def g(doc):\n    return doc.get('format_version')\n"
+        assert collect_counter_uses(src, ENGINE) == []
+
+    def test_outside_package_not_collected(self):
+        src = "def g(metrics):\n    metrics.add('fake.counter')\n"
+        assert collect_counter_uses(src, "tests/test_x.py") == []
+
+    def test_registered_but_never_used_fails_cnt002(self):
+        uses = collect_counter_uses(
+            "def g(m):\n    m.add('a.used')\n", ENGINE)
+        fs = check_registry_coverage(
+            uses, registered={"a.used": "x", "a.orphan": "y"})
+        assert rules_of(fs) == ["CNT002"]
+        assert "a.orphan" in fs[0].message
+
+
+# ---------------------------------------------------------------------------
+# UDF001 — purity (string fixtures only; see module docstring)
+# ---------------------------------------------------------------------------
+
+class TestUdfPurity:
+    def test_io_in_transfer_flagged(self):
+        src = ("class A(PropagationApp):\n"
+               "    def transfer(self, u, v, state):\n"
+               "        print(u)\n"
+               "        return 1.0\n")
+        assert rules_of(check_udf_purity(src, "src/repro/apps/a.py")) \
+            == ["UDF001"]
+
+    def test_global_module_call_flagged(self):
+        src = ("class A(MapReduceApp):\n"
+               "    def map(self, p, pg, state, emit):\n"
+               "        emit(0, random.random())\n")
+        assert rules_of(check_udf_purity(src, "src/repro/apps/a.py")) \
+            == ["UDF001"]
+
+    def test_self_mutation_flagged(self):
+        src = ("class A(PropagationApp):\n"
+               "    def combine(self, v, values, state):\n"
+               "        self.calls += 1\n"
+               "        return sum(values)\n")
+        assert rules_of(check_udf_purity(src, "src/repro/apps/a.py")) \
+            == ["UDF001"]
+
+    def test_pure_udf_and_non_udf_methods_clean(self):
+        src = ("class A(PropagationApp):\n"
+               "    def setup(self, pg):\n"
+               "        self.cache = {}\n"  # setup is not a UDF
+               "        return None\n"
+               "    def transfer(self, u, v, state):\n"
+               "        return state.values[u]\n")
+        assert check_udf_purity(src, "src/repro/apps/a.py") == []
+
+    def test_non_app_class_ignored(self):
+        src = ("class Helper:\n"
+               "    def transfer(self, u, v, state):\n"
+               "        print(u)\n")
+        assert check_udf_purity(src, "src/repro/apps/a.py") == []
+
+
+# ---------------------------------------------------------------------------
+# UDF002 / PAR001 — contracts
+# ---------------------------------------------------------------------------
+
+class _NonAssociativeCombine(NetworkRankingMapReduce):
+    combine_ufunc = None
+
+    def combine(self, key, values, state):
+        acc = values[0]
+        for v in values[1:]:
+            acc = acc - v  # subtraction: neither associative nor comm.
+        return acc
+
+
+class _OrderSensitiveCombine(NetworkRankingPropagation):
+    merge_ufunc = None
+    is_associative = False
+
+    def combine(self, v, values, state):
+        return values[0]  # whichever message happened to arrive first
+
+
+class TestContracts:
+    def test_non_associative_combine_fails(self):
+        # acceptance criterion: deliberately non-associative combine
+        # must fail with UDF002
+        fs = verify_mapreduce_app(_NonAssociativeCombine)
+        assert rules_of(fs) == ["UDF002"]
+        assert any("order-sensitive" in f.message
+                   or "partials" in f.message for f in fs)
+
+    def test_order_sensitive_propagation_combine_fails(self):
+        fs = verify_propagation_app(_OrderSensitiveCombine)
+        assert rules_of(fs) == ["UDF002"]
+
+    def test_vdd_virtual_combine_path_verified(self):
+        # the Section 3.3 virtual-vertex path must be exercised
+        # explicitly (PR 4 wired it; this is its contract coverage)
+        assert verify_propagation_app(DegreeDistributionPropagation) == []
+
+    def test_registered_apps_all_pass(self):
+        assert verify_registered_apps() == []
+
+    def test_every_registry_app_reachable_by_harness(self):
+        # guards the harness itself: every registered app must yield
+        # multi-value bags on the contract graph (a silent harvest
+        # failure would make the whole gate vacuous)
+        for name, (prop_cls, mr_cls, _) in APP_REGISTRY.items():
+            assert verify_propagation_app(prop_cls) == [], name
+            assert verify_mapreduce_app(mr_cls) == [], name
+
+    def test_array_hook_without_scalar_counterpart_fails(self):
+        class ArrayOnly(MapReduceApp):
+            name = "array-only"
+
+            def map_array(self, partition, pgraph, state):
+                return (np.zeros(0, dtype=np.int64), np.zeros(0))
+
+        fs = check_array_parity([ArrayOnly], "ArrayOnly appears here")
+        assert rules_of(fs) == ["PAR001"]
+        assert "scalar counterpart" in fs[0].message
+
+    def test_array_hook_without_parity_test_fails(self):
+        class Unregistered(NetworkRankingMapReduce):
+            pass
+
+        fs = check_array_parity([Unregistered], "no mention of it")
+        assert rules_of(fs) == ["PAR001"]
+        assert "parity test" in fs[0].message
+
+    def test_array_hook_with_parity_registration_clean(self):
+        fs = check_array_parity(
+            [NetworkRankingMapReduce],
+            "matrix includes NetworkRankingMapReduce")
+        assert fs == []
+
+
+# ---------------------------------------------------------------------------
+# TYP001 — strict-surface annotation completeness
+# ---------------------------------------------------------------------------
+
+class TestTypingGate:
+    def test_missing_annotations_flagged_in_strict_module(self):
+        src = "def f(a, b):\n    return a + b\n"
+        fs = check_annotations(src, "src/repro/runtime/foo.py")
+        assert rules_of(fs) == ["TYP001"]
+        assert "a, b, return" in fs[0].message
+
+    def test_annotated_def_clean(self):
+        src = "def f(a: int, b: int) -> int:\n    return a + b\n"
+        assert check_annotations(src, "src/repro/runtime/foo.py") == []
+
+    def test_nested_closures_exempt(self):
+        src = ("def f(a: int) -> int:\n"
+               "    def emit(k, v):\n"
+               "        pass\n"
+               "    return a\n")
+        assert check_annotations(src, "src/repro/mapreduce/foo.py") == []
+
+    def test_non_strict_module_exempt(self):
+        src = "def f(a, b):\n    return a + b\n"
+        assert check_annotations(src, "src/repro/apps/foo.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Runner + CLI + JSON document (self-lint acceptance)
+# ---------------------------------------------------------------------------
+
+class TestRunner:
+    def test_self_lint_src_is_clean(self):
+        # acceptance criterion: `repro check src/` runs clean
+        report = check_paths(["src"], contracts_pass=False)
+        assert report.active == [], report.render()
+        assert report.exit_code == 0
+        assert report.registry_audited  # src covers runtime/events.py
+
+    def test_partial_scan_skips_registry_coverage(self):
+        report = check_paths(["src/repro/apps"], contracts_pass=False)
+        assert not report.registry_audited
+        assert all(f.rule != "CNT002" for f in report.findings)
+
+    def test_cli_check_subcommand(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "findings.json"
+        assert main(["check", "src", "--no-contracts",
+                     "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-check/v1"
+        assert doc["counts"]["findings"] == 0
+        assert set(doc["rules"]) == set(RULES)
+
+    def test_findings_json_counts(self):
+        fs = lint_source(
+            "def f(k, n):\n    return hash(k) % n\n", ENGINE)
+        doc = json.loads(findings_to_json(fs, meta={"paths": ["x"]}))
+        assert doc["counts"] == {"findings": 1, "suppressed": 0}
+        assert doc["findings"][0]["rule"] == "DET001"
