@@ -1,0 +1,67 @@
+"""PR 6 — chaos smoke: seeded fault sweep with checkpoint/restore.
+
+A small, strictly-budgeted version of the chaos sweep the test suite
+runs: one workload (NR propagation, replication 1 — the configuration
+where any primary kill defeats replica promotion and forces a job-level
+restart) under a fixed-seed batch of random fault schedules.  Asserts
+the recovery invariant (every schedule bit-identical or a clean
+failure, zero violations, restart actually exercised) and persists
+``BENCH_PR6.json`` at the repo root — baseline vs most-restarted run,
+so the recovery overhead is diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from repro.bench.benchjson import job_record, write_bench_json
+from repro.graph.generators import composite_social_graph
+from repro.runtime.chaos import run_chaos_sweep, surfer_factory
+from repro.runtime.checkpoint import CheckpointPolicy
+from tests.conftest import make_test_cluster
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_PR6.json"
+
+SCHEDULES = 12
+SEED = 2010
+WALL_BUDGET_S = 120.0
+
+
+def test_bench_chaos_smoke(record):
+    from repro.bench.experiments import make_app
+
+    graph = composite_social_graph(num_communities=4, community_size=32,
+                                   k=4, seed=7)
+    make_surfer = surfer_factory(graph, lambda: make_test_cluster(8),
+                                 num_parts=8, replication=1, seed=3)
+    policy = CheckpointPolicy(interval=1)
+
+    def run_job(surfer, plan):
+        return surfer.run_propagation(
+            make_app("NR", "propagation"), iterations=4, fault_plan=plan,
+            checkpoint=policy if plan is not None else None,
+        )
+
+    start = time.perf_counter()
+    report = run_chaos_sweep(make_surfer, run_job, SCHEDULES, SEED)
+    wall = time.perf_counter() - start
+
+    assert report.ok, report.summary()
+    assert len(report.outcomes) == SCHEDULES
+    assert report.total_restarts > 0, \
+        "smoke sweep never exercised a job-level restart"
+    assert wall < WALL_BUDGET_S, \
+        f"chaos smoke blew its wall-time budget: {wall:.1f}s"
+
+    records = {"chaos_nr_baseline": job_record(report.baseline, wall)}
+    if report.restarted_job is not None:
+        records["chaos_nr_restarted"] = job_record(report.restarted_job,
+                                                   wall)
+        # recovery cost must be visible: restarted runs pay backoff,
+        # restore I/O and recomputation on top of the baseline
+        assert (records["chaos_nr_restarted"]["makespan_s"]
+                > records["chaos_nr_baseline"]["makespan_s"])
+    write_bench_json(BENCH_PATH, records, pr="PR6")
+    record("chaos_smoke", report.summary())

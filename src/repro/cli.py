@@ -8,6 +8,10 @@
   Chrome-trace JSON (chrome://tracing, Perfetto), prints the metrics
   registry, verifies the trace reconciles with the cluster counters and
   optionally records a ``repro-bench/v1`` JSON;
+* ``chaos`` — run a seeded randomized fault-schedule sweep against one
+  application with checkpoint/restore enabled, verifying every schedule
+  ends bit-identical to the fault-free baseline or as a cleanly-reported
+  failure (exit 1 on any violation);
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``partition`` — partition a graph and save the plan to a ``.npz`` file;
 * ``info`` — describe a saved plan;
@@ -51,6 +55,19 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--community-size", type=int, default=256)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--no-local-opts", action="store_true")
+        p.add_argument("--replication", type=int, default=3,
+                       help="partition replication factor (default 3)")
+        p.add_argument("--checkpoint-interval", type=int, default=0,
+                       help="checkpoint every N supersteps/rounds and "
+                            "restart from checkpoint on data loss "
+                            "(0 = disabled)")
+        p.add_argument("--max-restarts", type=int, default=3,
+                       help="job-level restart budget (with "
+                            "--checkpoint-interval)")
+        p.add_argument("--kill", action="append", default=[],
+                       metavar="M@T",
+                       help="kill machine M at simulated time T "
+                            "(repeatable), e.g. --kill 3@10.5")
 
     run = sub.add_parser("run", help="run one application")
     add_job_options(run)
@@ -70,6 +87,35 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--bench-name", default=None,
                       help="workload name in the bench JSON "
                            "(default profile_<app>_<engine>)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded randomized fault-schedule sweep with "
+             "checkpoint/restore (recovery invariant check)",
+    )
+    chaos.add_argument("app", choices=list(APP_ORDER) + ["CC", "DIAM"])
+    chaos.add_argument("--engine", choices=("propagation", "mapreduce"),
+                       default="propagation")
+    chaos.add_argument("--topology", choices=_TOPOLOGIES, default="T1")
+    chaos.add_argument("--layout",
+                       choices=("bandwidth-aware", "oblivious"),
+                       default="bandwidth-aware")
+    chaos.add_argument("--machines", type=int, default=8)
+    chaos.add_argument("--parts", type=int, default=16)
+    chaos.add_argument("--iterations", type=int, default=None)
+    chaos.add_argument("--communities", type=int, default=4)
+    chaos.add_argument("--community-size", type=int, default=32)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--replication", type=int, default=2,
+                       help="replication factor (low values force "
+                            "job-level restarts; default 2)")
+    chaos.add_argument("--schedules", type=int, default=50,
+                       help="random fault schedules to run (default 50)")
+    chaos.add_argument("--checkpoint-interval", type=int, default=1)
+    chaos.add_argument("--max-restarts", type=int, default=3)
+    chaos.add_argument("--bench", default=None,
+                       help="write a repro-bench/v1 JSON of the sweep "
+                            "(baseline + most-restarted schedule)")
 
     exp = sub.add_parser("experiment",
                          help="regenerate a paper table/figure")
@@ -161,13 +207,15 @@ def _deploy_and_run(args):
     from repro.apps import APP_REGISTRY, EXTENSION_APPS
     from repro.bench.workloads import make_cluster
     from repro.core import Surfer
+    from repro.runtime.checkpoint import CheckpointPolicy
     from repro.runtime.events import wall_timer
 
     symmetrize = args.app in ("CC", "DIAM")
     graph = _make_graph(args, symmetrize=symmetrize)
     cluster = make_cluster(_make_topology(args.topology, args.machines))
     surfer = Surfer(graph, cluster, num_parts=args.parts,
-                    layout=args.layout, seed=args.seed)
+                    layout=args.layout, seed=args.seed,
+                    replication=args.replication)
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges"
           f" | ier {surfer.pgraph.inner_edge_ratio:.1%}"
           f" | {args.topology}, {args.machines} machines")
@@ -180,6 +228,11 @@ def _deploy_and_run(args):
         prop_cls, mr_cls = EXTENSION_APPS[args.app]
         iterations = args.iterations or 50
         until = True
+    fault_plan = _parse_kills(args.kill)
+    policy = None
+    if args.checkpoint_interval > 0:
+        policy = CheckpointPolicy(interval=args.checkpoint_interval,
+                                  max_restarts=args.max_restarts)
     timer = wall_timer()
     if args.engine == "mapreduce":
         if mr_cls is None:
@@ -187,14 +240,35 @@ def _deploy_and_run(args):
                   file=sys.stderr)
             return None, 0.0
         job = surfer.run_mapreduce(mr_cls(), rounds=iterations,
-                                   until_convergence=until)
+                                   until_convergence=until,
+                                   fault_plan=fault_plan,
+                                   checkpoint=policy)
     else:
         job = surfer.run_propagation(
             prop_cls(), iterations=iterations,
             local_opts=not args.no_local_opts,
             until_convergence=until,
+            fault_plan=fault_plan,
+            checkpoint=policy,
         )
     return job, timer.elapsed()
+
+
+def _parse_kills(specs):
+    """``--kill M@T`` arguments into a FaultPlan (None when empty)."""
+    from repro.cluster.faults import FaultPlan
+
+    if not specs:
+        return None
+    plan = FaultPlan()
+    for spec in specs:
+        machine, _, time = spec.partition("@")
+        try:
+            plan.add_kill(int(machine), float(time))
+        except ValueError:
+            raise SystemExit(f"bad --kill {spec!r}: expected M@T, "
+                             f"e.g. 3@10.5")
+    return plan
 
 
 def _print_metrics(job) -> None:
@@ -211,10 +285,12 @@ def _cmd_run(args) -> int:
     job, _ = _deploy_and_run(args)
     if job is None:
         return 2
+    if job.failed:
+        print(f"job FAILED: {job.error}", file=sys.stderr)
     _print_metrics(job)
     print()
-    print(JobMonitor(job.executions).report())
-    return 0
+    print(JobMonitor(job.executions, job.recovery_events).report())
+    return 1 if job.failed else 0
 
 
 def _cmd_profile(args) -> int:
@@ -225,6 +301,8 @@ def _cmd_profile(args) -> int:
     job, wall = _deploy_and_run(args)
     if job is None:
         return 2
+    if job.failed:
+        print(f"job FAILED: {job.error}", file=sys.stderr)
     _print_metrics(job)
     print(f"wall clock    : {wall:12,.3f}s real")
     print()
@@ -253,6 +331,71 @@ def _cmd_profile(args) -> int:
         write_bench_json(args.bench, {name: job_record(job, wall)})
         print(f"bench JSON    : {args.bench} (workload {name!r})")
     return 1 if problems else 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.apps import APP_REGISTRY, EXTENSION_APPS
+    from repro.bench.benchjson import job_record, write_bench_json
+    from repro.bench.workloads import make_cluster
+    from repro.runtime.chaos import run_chaos_sweep, surfer_factory
+    from repro.runtime.checkpoint import CheckpointPolicy
+    from repro.runtime.events import wall_timer
+
+    symmetrize = args.app in ("CC", "DIAM")
+    graph = _make_graph(args, symmetrize=symmetrize)
+    if args.app in APP_REGISTRY:
+        prop_cls, mr_cls, default_iters = APP_REGISTRY[args.app]
+        iterations = args.iterations or default_iters
+        until = False
+    else:
+        prop_cls, mr_cls = EXTENSION_APPS[args.app]
+        iterations = args.iterations or 50
+        until = True
+    if args.engine == "mapreduce" and mr_cls is None:
+        print(f"{args.app} has no MapReduce implementation",
+              file=sys.stderr)
+        return 2
+    policy = CheckpointPolicy(interval=args.checkpoint_interval,
+                              max_restarts=args.max_restarts)
+    make_surfer = surfer_factory(
+        graph,
+        lambda: make_cluster(_make_topology(args.topology, args.machines)),
+        num_parts=args.parts, replication=args.replication,
+        seed=args.seed, layout=args.layout,
+    )
+
+    def run_job(surfer, plan):
+        ckpt = policy if plan is not None else None
+        if args.engine == "mapreduce":
+            return surfer.run_mapreduce(
+                mr_cls(), rounds=iterations, until_convergence=until,
+                fault_plan=plan, checkpoint=ckpt,
+            )
+        return surfer.run_propagation(
+            prop_cls(), iterations=iterations, until_convergence=until,
+            fault_plan=plan, checkpoint=ckpt,
+        )
+
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges"
+          f" | {args.topology}, {args.machines} machines, "
+          f"replication {args.replication}")
+    timer = wall_timer()
+    report = run_chaos_sweep(make_surfer, run_job, args.schedules,
+                             args.seed)
+    wall = timer.elapsed()
+    print(report.summary())
+    print(f"wall clock: {wall:,.1f}s real")
+    if args.bench:
+        name = f"chaos_{args.app}_{args.engine}"
+        workloads = {f"{name}_baseline": job_record(report.baseline, wall)}
+        if report.restarted_job is not None:
+            workloads[f"{name}_restarted"] = job_record(
+                report.restarted_job, wall
+            )
+        write_bench_json(args.bench, workloads, pr="PR6")
+        print(f"bench JSON: {args.bench} "
+              f"({len(workloads)} workload record(s))")
+    return 0 if report.ok else 1
 
 
 def _cmd_experiment(args) -> int:
@@ -413,6 +556,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "profile": _cmd_profile,
+        "chaos": _cmd_chaos,
         "experiment": _cmd_experiment,
         "partition": _cmd_partition,
         "info": _cmd_info,

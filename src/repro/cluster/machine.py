@@ -37,9 +37,16 @@ class MachineState:
     recoveries: int = 0
 
     def fail(self, at_time: float) -> None:
-        """Mark the machine dead as of ``at_time`` (heartbeat loss)."""
+        """Mark the machine dead as of ``at_time`` (heartbeat loss).
+
+        The local clock stops at the moment of death: a machine that was
+        idle-waiting out a transient window when the kill hit must not
+        keep a clock beyond its last recorded work, or the cluster's
+        response time would exceed anything the trace can account for.
+        """
         self.alive = False
         self.failed_at = at_time
+        self.clock = min(self.clock, at_time)
 
     def reset(self) -> None:
         self.clock = 0.0

@@ -11,6 +11,8 @@ does not hit a degraded replica set (:meth:`re_replicate`).
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 import numpy as np
 
 from repro.errors import DataLossError, PlacementError
@@ -28,12 +30,15 @@ class PartitionStore:
         replication: int = 3,
         seed: int = 0,
         partition_bytes=None,
+        topology=None,
     ):
         """``placement[p]`` is partition ``p``'s primary machine.
 
         ``partition_bytes`` (optional, per partition) sizes the copy
         traffic of replica re-creation; without it re-replication still
-        restores replica counts but charges no bytes.
+        restores replica counts but charges no bytes.  ``topology``
+        (optional) makes replica repair placement-aware: new holders are
+        chosen by copy bandwidth from the primary, not just by load.
         """
         placement = np.asarray(placement, dtype=np.int64)
         if replication < 1:
@@ -57,6 +62,7 @@ class PartitionStore:
                 raise PlacementError(
                     "partition_bytes length must match the placement"
                 )
+        self.topology = topology
         rng = np.random.default_rng(seed)
         self._replicas: list[list[int]] = []
         self._failed: set[int] = set()
@@ -66,6 +72,60 @@ class PartitionStore:
                 others, size=replication - 1, replace=False
             ).tolist() if replication > 1 else []
             self._replicas.append([int(primary)] + [int(m) for m in extra])
+
+    @classmethod
+    def from_replica_sets(
+        cls,
+        replica_sets: Sequence[Sequence[int]],
+        num_machines: int,
+        replication: int,
+        partition_bytes=None,
+        failed: Iterable[int] = (),
+        topology=None,
+    ) -> "PartitionStore":
+        """A store over explicitly given replica sets (primary first).
+
+        Used by the job-level restart path: after a data loss the driver
+        rebuilds the metadata from the replicas that survived on alive
+        machines (plus any partitions freshly restored from the durable
+        tier).  ``failed`` machines are excluded from future repair.
+        """
+        if replication < 1:
+            raise PlacementError("replication must be >= 1")
+        failed_set = {int(m) for m in failed}
+        store = cls.__new__(cls)
+        store.num_machines = num_machines
+        store.replication = replication
+        store.topology = topology
+        store._failed = failed_set
+        store._replicas = []
+        for p, reps in enumerate(replica_sets):
+            holders = [int(m) for m in reps]
+            if not holders:
+                raise PlacementError(f"partition {p} has no replica")
+            for m in holders:
+                if not 0 <= m < num_machines:
+                    raise PlacementError(f"unknown machine {m}")
+                if m in failed_set:
+                    raise PlacementError(
+                        f"replica of partition {p} on failed machine {m}"
+                    )
+            if len(set(holders)) != len(holders):
+                raise PlacementError(
+                    f"duplicate replica holders for partition {p}"
+                )
+            store._replicas.append(holders)
+        if partition_bytes is None:
+            store.partition_bytes = np.zeros(len(store._replicas),
+                                             dtype=np.int64)
+        else:
+            store.partition_bytes = np.asarray(partition_bytes,
+                                               dtype=np.int64)
+            if store.partition_bytes.size != len(store._replicas):
+                raise PlacementError(
+                    "partition_bytes length must match the replica sets"
+                )
+        return store
 
     @property
     def num_partitions(self) -> int:
@@ -143,11 +203,17 @@ class PartitionStore:
         """Restore every under-replicated partition on surviving machines.
 
         ``alive`` is the set of machines able to receive copies.  New
-        replica holders are chosen deterministically — the alive machine
-        holding the fewest replicas (ties to the lowest id) — and each
-        copy is sourced from the partition's current primary.  Returns the
-        copies made as ``(partition, src, dst)`` so the caller can charge
-        the traffic; the store metadata is updated in place.
+        replica holders are chosen deterministically: the least-loaded
+        alive machine, with ties broken *placement-aware* when the store
+        knows the topology — the candidate with the highest bandwidth to
+        the copy source (the partition's primary) wins, which keeps
+        repair traffic off the oversubscribed pod uplinks just like the
+        bandwidth-aware placement keeps job traffic off them.  Remaining
+        ties go to the lowest machine id (the pre-topology rule, and the
+        fallback when no topology was given).  Each copy is sourced from
+        the partition's current primary.  Returns the copies made as
+        ``(partition, src, dst)`` so the caller can charge the traffic;
+        the store metadata is updated in place.
         """
         alive = sorted(set(alive) - self._failed)
         load = {m: 0 for m in alive}
@@ -162,8 +228,18 @@ class PartitionStore:
                 candidates = [m for m in alive if m not in reps]
                 if not candidates:
                     break  # fewer survivors than the replication target
-                dst = min(candidates, key=lambda m: (load[m], m))
+                dst = self._repair_target(candidates, load, reps[0])
                 reps.append(dst)
                 load[dst] += 1
                 copies.append((p, reps[0], dst))
         return copies
+
+    def _repair_target(self, candidates: list[int], load: dict[int, int],
+                       primary: int) -> int:
+        """Deterministic destination for one repair copy."""
+        if self.topology is None:
+            return min(candidates, key=lambda m: (load[m], m))
+        return min(
+            candidates,
+            key=lambda m: (load[m], -self.topology.bandwidth(primary, m), m),
+        )

@@ -26,9 +26,9 @@ O4    bandwidth-aware      on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
-from repro.errors import DataLossError, JobError
+from repro.errors import DataLossError, JobError, SchedulingError
 from repro.cluster.cluster import Cluster, ClusterMetrics
 from repro.cluster.faults import FaultPlan
 from repro.cluster.storage import PartitionStore
@@ -52,6 +52,7 @@ from repro.propagation.cascade import (
     compute_cascade_info,
 )
 from repro.propagation.engine import IterationReport, PropagationEngine
+from repro.runtime.checkpoint import CheckpointPolicy, CheckpointStore
 from repro.runtime.events import EventStream
 from repro.runtime.scheduler import StageScheduler
 from repro.runtime.tasks import RecoveryEvent, TaskExecution
@@ -85,7 +86,10 @@ class JobResult:
     """Outcome of one Surfer job.
 
     ``failed=True`` means the job could not recover (every replica of some
-    partition lost); ``result`` is then None and ``error`` says why.
+    partition lost and no checkpoint policy — or the restart budget ran
+    out); ``result`` is then None and ``error`` says why.  ``restarts``
+    counts job-level restarts from checkpoint and ``checkpoints`` the
+    committed snapshots, so recovery cost is visible next to the result.
     ``events`` is the job's observability stream: spans for every task
     execution, stage and iteration, instants for every recovery action,
     and the metrics registry the engines and network model wrote into.
@@ -99,6 +103,8 @@ class JobResult:
     failed: bool = False
     error: str | None = None
     events: EventStream | None = None
+    restarts: int = 0
+    checkpoints: int = 0
 
     @property
     def response_time(self) -> float:
@@ -156,6 +162,7 @@ class Surfer:
             plan.placement, cluster.num_machines, replication, seed,
             partition_bytes=[self.pgraph.partition_bytes(p)
                              for p in range(self.pgraph.num_parts)],
+            topology=cluster.topology,
         )
         # The job manager dispatches each partition's tasks to the least
         # loaded replica holder (bottleneck relief; Appendix B).
@@ -187,6 +194,7 @@ class Surfer:
         pipelined: bool = False,
         speculation: bool = False,
         vectorized: bool | None = None,
+        checkpoint: CheckpointPolicy | None = None,
     ) -> JobResult:
         """Run ``iterations`` of propagation; returns the app's result.
 
@@ -200,7 +208,12 @@ class Surfer:
         copies of straggler tasks (see StageScheduler).  ``vectorized``
         picks the Transfer implementation (None = auto fast path,
         False = scalar oracle, True = require the fast path); both paths
-        produce bit-identical results and cost numbers.
+        produce bit-identical results and cost numbers.  ``checkpoint``
+        (an enabled :class:`~repro.runtime.checkpoint.CheckpointPolicy`)
+        snapshots the state every ``interval`` supersteps and restarts
+        the job from the latest committed checkpoint on data loss,
+        instead of failing — results stay bit-identical to a fault-free
+        run.
         """
         if iterations < 1:
             raise JobError("iterations must be >= 1")
@@ -215,38 +228,26 @@ class Surfer:
                                    pipelined=pipelined,
                                    speculation=speculation,
                                    events=events)
-        state = app.setup(self.pgraph)
 
         fractions = None
         if cascaded and iterations > 1:
             info = compute_cascade_info(self.pgraph)
             phase = min(info.d_min, iterations)
             fractions = cascade_io_fractions(self.pgraph, info, phase)
-        engine = PropagationEngine(
-            self.pgraph, self.store, self.cluster,
-            local_opts=local_opts, values_io_fraction=fractions,
-            assignment=self.assignment, vectorized=vectorized,
-        )
 
-        reports: list[IterationReport] = []
-        try:
-            for _ in range(iterations):
-                combined, report = engine.run_iteration(app, state,
-                                                        scheduler)
-                app.update(state, combined)
-                reports.append(report)
-                if until_convergence and converged(state):
-                    break
-        except DataLossError as exc:
-            return self._failed_job(scheduler, reports, exc)
-        return JobResult(
-            result=app.finalize(state),
-            metrics=self.cluster.metrics(),
-            reports=reports,
-            executions=scheduler.executions,
-            recovery_events=scheduler.recovery_events,
-            events=events,
-        )
+        def make_engine() -> PropagationEngine:
+            return PropagationEngine(
+                self.pgraph, self.store, self.cluster,
+                local_opts=local_opts, values_io_fraction=fractions,
+                assignment=self.assignment, vectorized=vectorized,
+            )
+
+        def run_step(engine: PropagationEngine, state: Any
+                     ) -> tuple[Any, IterationReport]:
+            return engine.run_iteration(app, state, scheduler)
+
+        return self._run_job(app, iterations, until_convergence, converged,
+                             scheduler, checkpoint, make_engine, run_step)
 
     def run_mapreduce(
         self,
@@ -258,13 +259,15 @@ class Surfer:
         speculation: bool = False,
         vectorized: bool | None = None,
         combiner: bool = False,
+        checkpoint: CheckpointPolicy | None = None,
     ) -> JobResult:
         """Run ``rounds`` of MapReduce; returns the app's result.
 
-        ``until_convergence``, ``pipelined`` and ``speculation`` mirror
-        :meth:`run_propagation`, and so does ``vectorized``: None = auto
-        array fast path (apps with ``map_array``), False = scalar
-        oracle, True = require the fast path; both paths produce
+        ``until_convergence``, ``pipelined``, ``speculation`` and
+        ``checkpoint`` mirror :meth:`run_propagation` (the checkpoint
+        interval counts rounds here), and so does ``vectorized``:
+        None = auto array fast path (apps with ``map_array``), False =
+        scalar oracle, True = require the fast path; both paths produce
         bit-identical outputs and cost numbers.  ``combiner=True``
         enables Hadoop-style map-side combining (apps must implement
         ``combine``; plus ``combine_ufunc`` for the fast path) — shuffle
@@ -284,28 +287,189 @@ class Surfer:
                                    pipelined=pipelined,
                                    speculation=speculation,
                                    events=events)
+
+        def make_engine() -> MapReduceEngine:
+            return MapReduceEngine(self.pgraph, self.store, self.cluster,
+                                   assignment=self.assignment,
+                                   vectorized=vectorized,
+                                   combiner=combiner)
+
+        def run_step(engine: MapReduceEngine, state: Any
+                     ) -> tuple[Any, RoundReport]:
+            return engine.run_round(app, state, scheduler)
+
+        return self._run_job(app, rounds, until_convergence, converged,
+                             scheduler, checkpoint, make_engine, run_step)
+
+    # ------------------------------------------------------------------
+    def _run_job(
+        self,
+        app: Any,
+        steps: int,
+        until: bool,
+        converged: Callable[[Any], bool] | None,
+        scheduler: StageScheduler,
+        checkpoint: CheckpointPolicy | None,
+        make_engine: Callable[[], Any],
+        run_step: Callable[[Any, Any], tuple[Any, Any]],
+    ) -> JobResult:
+        """The shared driver loop behind both primitives.
+
+        Runs ``steps`` barrier steps with optional checkpointing, and —
+        when a :class:`CheckpointPolicy` is enabled — turns
+        ``DataLossError`` / ``SchedulingError`` into a bounded sequence
+        of restart-from-checkpoint attempts with exponential backoff.
+        Without a policy the pre-checkpoint behaviour is preserved
+        exactly: data loss yields a clean failed job, scheduling errors
+        propagate.
+        """
+        ckpt: CheckpointStore | None = None
+        if checkpoint is not None and checkpoint.enabled:
+            ckpt = CheckpointStore(checkpoint, self.pgraph,
+                                   scheduler.events)
         state = app.setup(self.pgraph)
-        reports: list[RoundReport] = []
-        engine = MapReduceEngine(self.pgraph, self.store, self.cluster,
-                                 assignment=self.assignment,
-                                 vectorized=vectorized, combiner=combiner)
-        try:
-            for _ in range(rounds):
-                outputs, report = engine.run_round(app, state, scheduler)
-                app.update(state, outputs)
-                reports.append(report)
-                if until_convergence and converged(state):
-                    break
-        except DataLossError as exc:
-            return self._failed_job(scheduler, reports, exc)
-        return JobResult(
-            result=app.finalize(state),
-            metrics=self.cluster.metrics(),
-            reports=reports,
-            executions=scheduler.executions,
-            recovery_events=scheduler.recovery_events,
-            events=events,
+        reports: list[Any] = []
+        restarts = 0
+        completed = 0
+        restarting = False
+        while True:
+            try:
+                if restarting:
+                    restarting = False
+                    assert ckpt is not None
+                    completed, state = self._restore(ckpt, scheduler,
+                                                     restarts)
+                    if state is None:
+                        # data was lost before the first checkpoint
+                        # committed: restart from scratch
+                        state = app.setup(self.pgraph)
+                    del reports[completed:]
+                if ckpt is not None and ckpt.latest() is None:
+                    self._write_checkpoint(ckpt, scheduler, state, 0)
+                engine = make_engine()
+                while completed < steps:
+                    out, report = run_step(engine, state)
+                    app.update(state, out)
+                    reports.append(report)
+                    completed += 1
+                    if until and converged is not None and converged(state):
+                        break
+                    if (ckpt is not None and completed < steps
+                            and completed % ckpt.policy.interval == 0):
+                        self._write_checkpoint(ckpt, scheduler, state,
+                                               completed)
+                return JobResult(
+                    result=app.finalize(state),
+                    metrics=self.cluster.metrics(),
+                    reports=reports,
+                    executions=scheduler.executions,
+                    recovery_events=scheduler.recovery_events,
+                    events=scheduler.events,
+                    restarts=restarts,
+                    checkpoints=len(ckpt.checkpoints) if ckpt else 0,
+                )
+            except (DataLossError, SchedulingError) as exc:
+                if ckpt is None:
+                    if isinstance(exc, DataLossError):
+                        return self._failed_job(scheduler, reports, exc)
+                    raise
+                if (restarts >= ckpt.policy.max_restarts
+                        or not self.cluster.alive_machines()):
+                    reason = JobError(
+                        f"restart budget exhausted after {restarts} "
+                        f"restart(s): {exc}"
+                    ) if self.cluster.alive_machines() else JobError(
+                        f"no machines left alive to restart on: {exc}"
+                    )
+                    return self._failed_job(
+                        scheduler, reports, reason, restarts=restarts,
+                        checkpoints=len(ckpt.checkpoints),
+                    )
+                restarts += 1
+                restarting = True
+
+    def _write_checkpoint(self, ckpt: CheckpointStore,
+                          scheduler: StageScheduler, state: Any,
+                          step: int) -> None:
+        """Snapshot ``state`` and run the priced checkpoint-write stage.
+
+        The snapshot is committed only after the stage completes; a
+        write interrupted by data loss leaves the previous checkpoint as
+        the latest consistent one.
+        """
+        snapshot = ckpt.snapshot_state(state)
+        tasks, nbytes = ckpt.write_tasks(self.store, self.assignment, step)
+        scheduler.run_stage(tasks)
+        ckpt.commit(step, snapshot, nbytes)
+
+    def _restore(self, ckpt: CheckpointStore, scheduler: StageScheduler,
+                 attempt: int) -> tuple[int, Any]:
+        """One restart attempt: rebuild replicas, reload the checkpoint.
+
+        Survivor replica sets are recomputed from the alive machines;
+        partitions that lost every replica come back from the durable
+        tier onto the least-loaded survivor; the (placement-aware)
+        re-replication then restores the replication factor, and the
+        checkpointed state is read back — all as one foreground restore
+        stage whose tasks start no earlier than the exponential-backoff
+        deadline.  Returns ``(step, state)`` to resume from, with
+        ``state=None`` when no checkpoint had committed yet.
+        """
+        cluster = self.cluster
+        chk = ckpt.latest()
+        step = chk.step if chk is not None else 0
+        backoff = ckpt.policy.backoff(attempt)
+        now = max((m.clock for m in cluster.machines), default=0.0)
+        ready = now + backoff
+        metrics = scheduler.events.metrics
+        metrics.add("checkpoint.restart_attempts")
+        metrics.add("checkpoint.backoff_seconds", backoff)
+        scheduler.note_recovery(
+            ready, "job-restart",
+            task=f"from checkpoint @ superstep {step}",
         )
+
+        alive = cluster.alive_machines()
+        alive_set = set(alive)
+        old = self.store
+        load = {m: 0 for m in alive}
+        sets: list[list[int]] = []
+        restored: list[int] = []
+        for p in range(old.num_partitions):
+            survivors = [m for m in old.replicas(p) if m in alive_set]
+            for m in survivors:
+                load[m] += 1
+            sets.append(survivors)
+        for p, survivors in enumerate(sets):
+            if not survivors:
+                dst = min(alive, key=lambda m: (load[m], m))
+                survivors.append(dst)
+                load[dst] += 1
+                restored.append(p)
+        dead = set(range(cluster.num_machines)) - alive_set
+        new_store = PartitionStore.from_replica_sets(
+            sets, cluster.num_machines, old.replication,
+            partition_bytes=old.partition_bytes,
+            failed=dead,
+            topology=cluster.topology,
+        )
+        copies = new_store.re_replicate(alive)
+        self.store = new_store
+        scheduler.store = new_store
+        self.assignment = rebalance_placement(
+            new_store, estimate_partition_costs(self.pgraph)
+        )
+        tasks, state_bytes, durable_bytes = ckpt.restore_tasks(
+            new_store, self.assignment, restored, copies, ready
+        )
+        scheduler.run_stage(tasks)  # may raise -> next restart attempt
+        metrics.add("checkpoint.restores")
+        metrics.add("checkpoint.bytes_read", state_bytes + durable_bytes)
+        metrics.add("checkpoint.restored_partitions", len(restored))
+        scheduler.data_loss = None
+        if chk is None:
+            return 0, None
+        return chk.step, ckpt.snapshot_state(chk.state)
 
     def _event_stream(self) -> EventStream:
         """A fresh per-job observability stream, bound to the network.
@@ -319,7 +483,8 @@ class Surfer:
         return events
 
     def _failed_job(self, scheduler: StageScheduler, reports: list,
-                    exc: DataLossError) -> JobResult:
+                    exc: Exception, restarts: int = 0,
+                    checkpoints: int = 0) -> JobResult:
         """A clean failed-job result after unrecoverable data loss."""
         return JobResult(
             result=None,
@@ -330,6 +495,8 @@ class Surfer:
             failed=True,
             error=str(exc),
             events=scheduler.events,
+            restarts=restarts,
+            checkpoints=checkpoints,
         )
 
 

@@ -9,6 +9,11 @@ from repro.runtime.events import (
     reconcile,
     write_chrome_trace,
 )
+from repro.runtime.checkpoint import (
+    Checkpoint,
+    CheckpointPolicy,
+    CheckpointStore,
+)
 from repro.runtime.tasks import (
     RecoveryEvent,
     StageResult,
@@ -35,6 +40,9 @@ from repro.runtime.monitor import (
 )
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointPolicy",
+    "CheckpointStore",
     "EventStream",
     "Instant",
     "MetricsRegistry",

@@ -1,0 +1,247 @@
+"""Checkpoint/restore for job-level restart (Pregel-style recovery).
+
+The in-job machinery (replica promotion, task re-execution, background
+re-replication) absorbs most faults, but when *every* replica of a
+partition is gone the job used to be discarded with a
+:class:`~repro.errors.DataLossError`.  This module supplies the standard
+answer of the Pregel/superstep era: snapshot the job's per-partition
+vertex state at configurable superstep (propagation) or round
+(MapReduce) boundaries into the replicated storage layer, and let the
+driver restart from the latest *committed* checkpoint instead of
+failing.
+
+Consistency model
+-----------------
+A checkpoint is taken at a barrier — after ``app.update`` applied step
+``k`` and before step ``k + 1`` dispatches any task — so the snapshot is
+a consistent cut by construction.  It is *committed* (becomes eligible
+for restore) only after its write stage ran to completion; a checkpoint
+interrupted by the very fault it should protect against is discarded.
+Everything after the restored step is recomputed, not replayed: the
+UDF-purity and determinism discipline (PRs 2/4/5) is what makes the
+recomputation bit-identical to the fault-free run.
+
+Cost model
+----------
+Checkpoint writes and restores run as regular scheduler stages built
+here (``kind="checkpoint"`` / ``kind="restore"``): every byte flows
+through the machines' disk rates and the topology's network model, gets
+a span in the event stream and counts toward ``checkpoint.*`` counters —
+so ``reconcile()`` holds for checkpointed, restarted and failed runs
+alike, and the recovery overhead is visible in ``repro profile``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import JobError
+from repro.cluster.storage import PartitionStore
+from repro.graph.io import VALUE_BYTES
+from repro.runtime.events import EventStream
+from repro.runtime.tasks import Task
+
+__all__ = ["CheckpointPolicy", "Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When to checkpoint and how hard to try restarting.
+
+    ``interval`` is in supersteps (propagation) or rounds (MapReduce);
+    ``0`` disables checkpointing entirely — the pre-checkpoint behaviour
+    where any unabsorbed data loss fails the job.  ``backoff_base`` is
+    the *simulated* wait before the first restart; each further attempt
+    multiplies it by ``backoff_factor`` (exponential backoff, mirroring
+    how a cloud job manager paces itself while the cluster stabilizes).
+    """
+
+    interval: int = 0
+    max_restarts: int = 3
+    backoff_base: float = 30.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise JobError("checkpoint interval must be >= 0")
+        if self.max_restarts < 0:
+            raise JobError("max_restarts must be >= 0")
+        if self.backoff_base < 0:
+            raise JobError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise JobError("backoff_factor must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval > 0
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated seconds to wait before restart ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise JobError("restart attempts are counted from 1")
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One committed snapshot: the state as of completed step ``step``."""
+
+    step: int
+    state: Any
+    nbytes: int
+
+
+class CheckpointStore:
+    """Committed snapshots of a job's vertex state, plus the stage
+    builders that price their writes and restores.
+
+    The store itself is driver-side metadata; the snapshot *bytes* live
+    (in the model) on the replica holders of each partition, written
+    through the same :class:`~repro.cluster.storage.PartitionStore`
+    replica sets as the graph partitions themselves.
+    """
+
+    def __init__(self, policy: CheckpointPolicy, pgraph: Any,
+                 events: EventStream) -> None:
+        if not policy.enabled:
+            raise JobError("CheckpointStore needs an enabled policy")
+        self.policy = policy
+        self.pgraph = pgraph
+        self.events = events
+        self.checkpoints: list[Checkpoint] = []
+
+    # -- snapshots -----------------------------------------------------
+    def latest(self) -> Checkpoint | None:
+        """The newest committed checkpoint, or None before the first."""
+        return self.checkpoints[-1] if self.checkpoints else None
+
+    def snapshot_state(self, state: Any) -> Any:
+        """Deep-copy the job state, sharing the immutable graph.
+
+        ``VertexState`` carries a reference to the partitioned graph;
+        seeding the deepcopy memo with it (and the underlying graph)
+        keeps the snapshot O(state), not O(graph), and preserves the
+        engines' identity assumptions on the graph object.
+        """
+        pgraph = self.pgraph
+        # deepcopy memo keys are object ids by contract; nothing is
+        # routed or hashed on them
+        memo: dict[int, Any] = {id(pgraph): pgraph}  # repro: ignore[DET001] -- deepcopy memo key
+        graph = getattr(pgraph, "graph", None)
+        if graph is not None:
+            memo[id(graph)] = graph  # repro: ignore[DET001] -- deepcopy memo key
+        return copy.deepcopy(state, memo)
+
+    def state_nbytes(self, partition: int) -> int:
+        """Modeled snapshot footprint of one partition's vertex values."""
+        return int(self.pgraph.partition_size(partition)) * VALUE_BYTES
+
+    def commit(self, step: int, state: Any, nbytes: int) -> None:
+        """Register a checkpoint whose write stage ran to completion."""
+        self.checkpoints.append(Checkpoint(step, state, nbytes))
+        metrics = self.events.metrics
+        metrics.add("checkpoint.checkpoints")
+        metrics.add("checkpoint.bytes_written", nbytes)
+
+    # -- stage builders ------------------------------------------------
+    def write_tasks(self, store: PartitionStore,
+                    assignment: Any, step: int) -> tuple[list[Task], int]:
+        """The checkpoint-write stage for one barrier, and its bytes.
+
+        Per partition, the machine that just computed the step (its
+        assigned replica holder) writes the snapshot locally and streams
+        a copy to every other replica holder; per receiving machine one
+        aggregated task charges the inbound NIC time and the replica
+        disk writes.  Returns ``(tasks, total_bytes_written)`` — all
+        replica copies included — for :meth:`commit`.
+        """
+        tasks: list[Task] = []
+        recv_bytes: dict[int, int] = {}
+        recv_flows: dict[int, list[tuple[int, float]]] = {}
+        total = 0
+        for p in range(store.num_partitions):
+            nbytes = self.state_nbytes(p)
+            writer = int(assignment[p])
+            holders = store.replicas(p)
+            sends = [(h, float(nbytes)) for h in holders if h != writer]
+            for h, b in sends:
+                recv_bytes[h] = recv_bytes.get(h, 0) + int(b)
+                recv_flows.setdefault(h, []).append((writer, b))
+            tasks.append(Task(
+                name=f"ckpt[{step}] p{p}",
+                machine=writer,
+                kind="checkpoint",
+                partition=p,
+                disk_write_bytes=float(nbytes),
+                sends=sends,
+            ))
+            total += nbytes * len(holders)
+        for machine in sorted(recv_bytes):
+            tasks.append(Task(
+                name=f"ckpt[{step}] recv m{machine}",
+                machine=machine,
+                kind="checkpoint",
+                disk_write_bytes=float(recv_bytes[machine]),
+                receives=list(recv_flows[machine]),
+            ))
+        return tasks, total
+
+    def restore_tasks(self, store: PartitionStore, assignment: Any,
+                      restored: Sequence[int],
+                      copies: Sequence[tuple[int, int, int]],
+                      ready: float) -> tuple[list[Task], int, int]:
+        """The restore stage after a job-level restart.
+
+        Three kinds of work, all released no earlier than ``ready`` (the
+        backoff deadline): partitions whose every replica died are
+        reloaded from the durable tier onto their new holder (a local
+        read + write of the partition plus its checkpointed state);
+        replica-repair ``copies`` fetched from the surviving primary;
+        and per-machine aggregated reads of the checkpointed state the
+        resumed supersteps will start from.  Returns
+        ``(tasks, state_bytes_read, durable_bytes_read)``.
+        """
+        tasks: list[Task] = []
+        durable = 0
+        for p in restored:
+            holder = store.primary(p)
+            nbytes = store.partition_nbytes(p) + self.state_nbytes(p)
+            tasks.append(Task(
+                name=f"restore-durable p{p}",
+                machine=holder,
+                kind="restore",
+                partition=p,
+                disk_read_bytes=float(nbytes),
+                disk_write_bytes=float(nbytes),
+                earliest_start=ready,
+            ))
+            durable += nbytes
+        for p, src, dst in copies:
+            nbytes = store.partition_nbytes(p) + self.state_nbytes(p)
+            tasks.append(Task(
+                name=f"restore-copy p{p} m{src}->m{dst}",
+                machine=dst,
+                kind="restore",
+                partition=p,
+                disk_write_bytes=float(nbytes),
+                fetches=[(src, float(nbytes))],
+                earliest_start=ready,
+            ))
+        state_reads: dict[int, int] = {}
+        for p in range(store.num_partitions):
+            machine = int(assignment[p])
+            state_reads[machine] = (state_reads.get(machine, 0)
+                                    + self.state_nbytes(p))
+        state_total = 0
+        for machine in sorted(state_reads):
+            tasks.append(Task(
+                name=f"restore-state m{machine}",
+                machine=machine,
+                kind="restore",
+                disk_read_bytes=float(state_reads[machine]),
+                earliest_start=ready,
+            ))
+            state_total += state_reads[machine]
+        return tasks, state_total, durable

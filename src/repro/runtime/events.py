@@ -93,6 +93,16 @@ CANONICAL_COUNTERS: dict[str, str] = {
     "mapreduce.shuffle_records": "records actually shuffled",
     "mapreduce.shuffle_bytes_precombine":
         "shuffle volume before map-side combining",
+    # -- checkpoint/restore ----------------------------------------------
+    "checkpoint.checkpoints": "snapshots committed to the replica tier",
+    "checkpoint.bytes_written": "checkpoint bytes written (all replicas)",
+    "checkpoint.restores": "successful restores from a checkpoint",
+    "checkpoint.bytes_read":
+        "state + durable-partition bytes read back during restores",
+    "checkpoint.restart_attempts": "job-level restart attempts begun",
+    "checkpoint.backoff_seconds": "simulated backoff before restarts",
+    "checkpoint.restored_partitions":
+        "partitions reloaded from the durable tier (all replicas lost)",
     # -- simulator overhead ---------------------------------------------
     "wall.udf_seconds": "real Python seconds spent in UDFs",
 }

@@ -190,6 +190,22 @@ class JobMonitor:
         return sum(ev.nbytes for ev in self.recovery_events
                    if ev.kind == "re-replicate")
 
+    def restart_summary(self) -> str | None:
+        """One line describing job-level restarts, or None without any.
+
+        E.g. ``"restarted 2× from checkpoint @ superstep 12"`` — the
+        count is the number of ``job-restart`` recovery events and the
+        provenance comes from the latest one (restarts always resume from
+        the newest committed checkpoint).
+        """
+        restarts = [ev for ev in self.recovery_events
+                    if ev.kind == "job-restart"]
+        if not restarts:
+            return None
+        last = restarts[-1]
+        provenance = last.task if last.task else "from checkpoint"
+        return f"restarted {len(restarts)}× {provenance}"
+
     def report(self) -> str:
         """Human-readable utilization report (the GUI's text sibling)."""
         lines = [f"job makespan: {self.makespan:,.1f}s simulated"]
@@ -215,6 +231,9 @@ class JobMonitor:
         stragglers = self.stragglers()
         if stragglers:
             lines.append(f"stragglers (>1.5x median busy): {stragglers}")
+        restarted = self.restart_summary()
+        if restarted:
+            lines.append(restarted)
         summary = self.recovery_summary()
         if summary:
             lines.append(

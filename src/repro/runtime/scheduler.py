@@ -159,32 +159,48 @@ class StageScheduler:
         drain = (self._drain_queue_pipelined if self.pipelined
                  else self._drain_queue)
 
-        for machine_id in sorted(queues):
-            drain(machine_id, queues[machine_id], start_time,
-                  stage_execs, failed)
+        try:
+            for machine_id in sorted(queues):
+                drain(machine_id, queues[machine_id], start_time,
+                      stage_execs, failed)
 
-        # Re-execute tasks lost to failures on replica holders.
-        guard = 0
-        while failed:
-            guard += 1
-            if guard > 10000:
-                raise SchedulingError("failure re-execution did not converge")
-            task, detect = failed.popleft()
-            failures += 1
-            if task.attempt >= self.max_retries:
-                raise SchedulingError(
-                    f"task {task.name} exceeded the retry budget "
-                    f"({self.max_retries} attempts)"
-                )
-            new_machine = self._reassign(task)
-            retry = self._clone_task(task, new_machine, detect, "#retry")
-            self._event(detect, "redispatch", new_machine,
-                        task=retry.name, partition=task.partition)
-            drain(new_machine, deque([retry]), start_time,
-                  stage_execs, failed)
+            # Re-execute tasks lost to failures on replica holders.
+            guard = 0
+            while failed:
+                guard += 1
+                if guard > 10000:
+                    raise SchedulingError(
+                        "failure re-execution did not converge"
+                    )
+                task, detect = failed.popleft()
+                failures += 1
+                if task.attempt >= self.max_retries:
+                    raise SchedulingError(
+                        f"task {task.name} exceeded the retry budget "
+                        f"({self.max_retries} attempts)"
+                    )
+                new_machine = self._reassign(task)
+                retry = self._clone_task(task, new_machine, detect, "#retry")
+                self._event(detect, "redispatch", new_machine,
+                            task=retry.name, partition=task.partition)
+                drain(new_machine, deque([retry]), start_time,
+                      stage_execs, failed)
 
-        if self.speculation:
-            self._speculate(stage_execs)
+            if self.speculation:
+                self._speculate(stage_execs)
+        except (DataLossError, SchedulingError):
+            # The stage is aborting (unrecoverable data loss or an
+            # exhausted retry budget), but the work already executed was
+            # charged to the machines and the network — record its spans
+            # so the failed (or restarted) job's trace still reconciles.
+            # No barrier: the job is unwinding, not synchronizing.
+            abort_end = max(
+                (e.end for e in stage_execs), default=start_time
+            )
+            self.executions.extend(stage_execs)
+            self._record_stage(tasks, stage_execs, start_time, abort_end,
+                               failures, timer.elapsed())
+            raise
 
         end_time = max(
             (e.end for e in stage_execs), default=start_time
@@ -246,6 +262,20 @@ class StageScheduler:
             wall_self_seconds=wall_seconds,
         ))
         self._stage_index += 1
+
+    def note_recovery(self, time: float, kind: str, machine: int = -1,
+                      task: str | None = None,
+                      partition: int | None = None,
+                      nbytes: int = 0) -> None:
+        """Record a recovery action decided *outside* the scheduler.
+
+        The job-level restart driver (checkpoint/restore in
+        ``core/surfer.py``) announces its actions — ``job-restart`` above
+        all — through this hook so they land on the same structured
+        recovery stream, instants and ``recovery.*`` counters as the
+        scheduler's own fault handling.
+        """
+        self._event(time, kind, machine, task, partition, nbytes)
 
     def _event(self, time: float, kind: str, machine: int,
                task: str | None = None, partition: int | None = None,
@@ -324,10 +354,13 @@ class StageScheduler:
                                     outage.start, failed)
                     return
                 # transient: the in-flight task fails over, the machine
-                # rejoins at the end of the window with its queue
+                # rejoins at the end of the window with its queue.  The
+                # clock stays at the failure point — if more work remains
+                # the next dispatch waits out the window (identical
+                # timing), and an emptied queue leaves no clock beyond
+                # the last recorded span.
                 self._mark_down(machine_id, outage)
                 self._fail_over(machine_id, [task], outage.start, failed)
-                machine.clock = max(machine.clock, outage.end)
                 continue
             self._charge(task, machine_id)
             machine.clock = end
@@ -420,11 +453,14 @@ class StageScheduler:
                     self._fail_over(machine_id, [task, *queue],
                                     outage.start, failed)
                     return
+                # the lanes restart cold after the window, but the clock
+                # stays at the failure point until real work moves it —
+                # an emptied queue must not leave a clock past the last
+                # recorded span
                 self._mark_down(machine_id, outage)
                 self._fail_over(machine_id, [task], outage.start, failed)
                 base = max(base, outage.end)
                 read_free = cpu_free = net_free = write_free = base
-                machine.clock = max(machine.clock, base)
                 continue
             duration = ((read_end - read_start) + (cpu_end - cpu_start)
                         + (net_end - net_start) + (write_end - write_start))

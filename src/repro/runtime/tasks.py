@@ -88,7 +88,9 @@ class RecoveryEvent:
     ``detect`` (heartbeat loss noticed), ``redispatch`` (lost task
     re-queued on a replica holder), ``spec-launch`` / ``spec-win`` /
     ``spec-cancel`` (speculative backup lifecycle), ``re-replicate``
-    (background replica copy, ``nbytes`` of traffic) and ``data-loss``.
+    (background replica copy, ``nbytes`` of traffic), ``data-loss``
+    and ``job-restart`` (job-level restart from a checkpoint; ``task``
+    carries the provenance, e.g. ``"from checkpoint @ superstep 12"``).
     """
 
     time: float
