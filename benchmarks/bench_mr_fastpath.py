@@ -12,7 +12,6 @@ naive per-edge NR formulation, and persists everything as
 from __future__ import annotations
 
 import pathlib
-import time
 
 from repro.apps import NetworkRankingMapReduce
 from repro.bench.benchjson import (
@@ -23,6 +22,7 @@ from repro.bench.benchjson import (
 )
 from repro.bench.experiments import default_iterations, make_app
 from repro.bench.harness import ExperimentTable
+from repro.bench.runner import timed_job as _timed
 from repro.runtime.events import reconcile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -49,12 +49,6 @@ def _job_signature(job):
     metrics = (job.metrics.network_bytes, job.metrics.disk_bytes,
                job.metrics.response_time)
     return reports, tasks, metrics
-
-
-def _timed(run):
-    start = time.perf_counter()
-    job = run()
-    return job, time.perf_counter() - start
 
 
 def test_mr_fastpath(benchmark, workload, record):

@@ -12,7 +12,6 @@ against.  A sample Chrome trace of the standard NR run lands in
 from __future__ import annotations
 
 import pathlib
-import time
 
 from repro.bench.benchjson import (
     job_record,
@@ -25,6 +24,7 @@ from repro.bench.experiments import (
     make_app,
     parts_for,
 )
+from repro.bench.runner import timed_job as _timed
 from repro.bench.workloads import SCALED_LINK_BPS, Workload, make_cluster, scaled_graph
 from repro.cluster.topology import t1
 from repro.runtime.events import reconcile, write_chrome_trace
@@ -32,12 +32,6 @@ from repro.runtime.events import reconcile, write_chrome_trace
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_PR3.json"
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-
-def _timed(run):
-    start = time.perf_counter()
-    job = run()
-    return job, time.perf_counter() - start
 
 
 def test_bench_pr3_observability(workload, record):

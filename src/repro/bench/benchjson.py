@@ -50,14 +50,32 @@ __all__ = ["SCHEMA", "RECORD_FIELDS", "job_record", "write_bench_json",
            "validate_bench_json", "load_bench_json"]
 
 
+def _messages_shipped(registry) -> float:
+    """The message counter of the engine that actually ran the job.
+
+    A registry may carry *both* counter families — e.g. the propagation
+    counter canonically registered at 0 on a MapReduce job — so a plain
+    ``get(propagation..., default=get(mapreduce...))`` masks the
+    fallback behind the zero and records 0 for MR workloads.  Key on
+    the engines' round/iteration counters instead: whichever engine
+    drove the job is the one whose message counter we report.
+    """
+    if registry.get("propagation.iterations") > 0:
+        return registry.get("propagation.messages_shipped")
+    if registry.get("mapreduce.rounds") > 0:
+        return registry.get("mapreduce.map_records")
+    # neither engine marker present (synthetic registries): old behaviour
+    return registry.get("propagation.messages_shipped",
+                        registry.get("mapreduce.map_records"))
+
+
 def job_record(job, wall_clock_s: float) -> dict:
     """One workload record from a finished :class:`JobResult`."""
     metrics = job.metrics
     registry = job.events.metrics if job.events is not None else None
     shipped = tasks = 0.0
     if registry is not None:
-        shipped = registry.get("propagation.messages_shipped",
-                               registry.get("mapreduce.map_records"))
+        shipped = _messages_shipped(registry)
         tasks = registry.get("scheduler.tasks_executed")
     return {
         "makespan_s": round(float(metrics.response_time), 6),
@@ -113,7 +131,9 @@ def validate_bench_json(doc) -> list[str]:
             errors.append(f"workload {name!r} has unknown fields {extra}")
         for f in RECORD_FIELDS:
             value = record.get(f)
-            if f in record and not isinstance(value, (int, float)):
+            # bool is an int subclass; True/False are not measurements
+            if f in record and (isinstance(value, bool)
+                                or not isinstance(value, (int, float))):
                 errors.append(f"workload {name!r}.{f} is not a number")
             elif f in record and value < 0:
                 errors.append(f"workload {name!r}.{f} is negative")

@@ -25,8 +25,8 @@ def format_seconds(seconds: float) -> str:
 
 def format_bytes(nbytes: float) -> str:
     """Human-scaled bytes: B / KB / MB / GB."""
-    for unit in ("B", "KB", "MB", "GB", "TB"):
-        if abs(nbytes) < 1024 or unit == "TB":
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(nbytes) < 1024:
             return (f"{nbytes:.0f}{unit}" if unit == "B"
                     else f"{nbytes:.2f}{unit}")
         nbytes /= 1024

@@ -1,0 +1,175 @@
+"""Perf-trajectory regression gate over the ``BENCH_PR*.json`` history.
+
+The repo's quantitative claims (PR 2's ~6-7x Transfer fast path, PR 4's
+~4.4x MapReduce round, PR 6's recovery overhead) only stay claims while
+someone re-measures them.  This gate does that mechanically: every
+``repro bench --gate`` run compares the freshly measured records against
+the *latest committed baseline* for each workload (the highest-numbered
+``BENCH_PR*.json`` that contains it) and fails when a metric regressed
+beyond its tolerance.
+
+Tolerances are **relative** and per-metric: simulated cost counters are
+deterministic, so they get tight bounds (any drift is a real cost-model
+change someone must bless), while ``wall_clock_s`` — real Python time,
+min-of-N sampled but still hardware-dependent — gets a wide one.
+Improvements never fail the gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.benchjson import RECORD_FIELDS
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "GateFinding",
+    "GateResult",
+    "latest_baselines",
+    "compare_records",
+    "gate",
+]
+
+#: relative tolerance per metric (0.05 = current may exceed baseline by
+#: 5%).  Simulated metrics are deterministic: identical inputs must
+#: reproduce identical counters, so the slack only covers blessed noise
+#: like float rounding; ``wall_clock_s`` crosses machines and gets 3x.
+DEFAULT_TOLERANCES: dict[str, float] = {
+    "makespan_s": 0.05,
+    "machine_time_s": 0.05,
+    "network_bytes": 0.02,
+    "disk_bytes": 0.02,
+    "messages_shipped": 0.0,
+    "tasks": 0.0,
+    "wall_clock_s": 3.0,
+}
+
+#: guard for integer-zero baselines: a regression needs to clear this
+#: absolute floor too, so 0 -> 1e-12 style noise cannot trip the gate
+_ABS_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class GateFinding:
+    """One (workload, metric) comparison against its baseline."""
+
+    workload: str
+    metric: str
+    baseline: float
+    current: float
+    baseline_pr: str
+    tolerance: float
+    regression: bool
+
+    @property
+    def delta_pct(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return 100.0 * (self.current / self.baseline - 1.0)
+
+    def describe(self) -> str:
+        delta = self.delta_pct
+        delta_s = ("+inf%" if delta == float("inf")
+                   else f"{delta:+.1f}%")
+        return (f"{self.workload}.{self.metric}: {self.current:,.6g} vs "
+                f"{self.baseline:,.6g} ({self.baseline_pr}) = {delta_s} "
+                f"(tolerance {self.tolerance:.0%})")
+
+
+@dataclass
+class GateResult:
+    """The gate's verdict: regressions, near-misses, unbaselined work."""
+
+    findings: list[GateFinding] = field(default_factory=list)
+    #: workloads measured now but absent from every committed baseline
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[GateFinding]:
+        return [f for f in self.findings if f.regression]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = []
+        if self.ok:
+            lines.append("gate: PASS — no metric regressed beyond "
+                         "tolerance")
+        else:
+            lines.append(f"gate: FAIL — {len(self.regressions)} "
+                         "regression(s) beyond tolerance")
+            for f in self.regressions:
+                lines.append(f"  REGRESSION {f.describe()}")
+        for name in self.missing:
+            lines.append(f"  note: {name} has no committed baseline "
+                         "(new workload — bless it with --bless)")
+        return "\n".join(lines)
+
+
+def latest_baselines(
+    history: list[dict],
+) -> dict[str, tuple[str, dict]]:
+    """``{workload: (pr, record)}`` from the newest doc that has it.
+
+    ``history`` must be ordered oldest → newest (the order
+    :func:`repro.bench.trajectory.load_history` returns).
+    """
+    latest: dict[str, tuple[str, dict]] = {}
+    for doc in history:
+        pr = str(doc.get("pr", "?"))
+        for name, record in doc.get("workloads", {}).items():
+            latest[name] = (pr, record)
+    return latest
+
+
+def compare_records(
+    current: dict[str, dict],
+    history: list[dict],
+    tolerances: dict[str, float] | None = None,
+    per_workload: dict[str, dict[str, float]] | None = None,
+) -> GateResult:
+    """Gate ``current`` records against the committed history.
+
+    ``tolerances`` overrides :data:`DEFAULT_TOLERANCES` globally;
+    ``per_workload`` maps workload names to per-metric overrides (the
+    experiment configs' ``[tolerances]`` tables) that win over both.
+    """
+    base_tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        base_tol.update(tolerances)
+    baselines = latest_baselines(history)
+    result = GateResult()
+    for name in sorted(current):
+        if name not in baselines:
+            result.missing.append(name)
+            continue
+        pr, baseline = baselines[name]
+        overrides = (per_workload or {}).get(name, {})
+        for metric in RECORD_FIELDS:
+            tol = overrides.get(metric, base_tol[metric])
+            base_v = float(baseline.get(metric, 0.0))
+            cur_v = float(current[name].get(metric, 0.0))
+            regressed = cur_v > base_v * (1.0 + tol) + _ABS_FLOOR
+            result.findings.append(GateFinding(
+                workload=name,
+                metric=metric,
+                baseline=base_v,
+                current=cur_v,
+                baseline_pr=pr,
+                tolerance=tol,
+                regression=regressed,
+            ))
+    return result
+
+
+def gate(
+    current: dict[str, dict],
+    history: list[dict],
+    tolerances: dict[str, float] | None = None,
+    per_workload: dict[str, dict[str, float]] | None = None,
+) -> GateResult:
+    """Alias for :func:`compare_records` (the CLI entry point)."""
+    return compare_records(current, history, tolerances=tolerances,
+                           per_workload=per_workload)

@@ -1,0 +1,843 @@
+"""Config-driven experiment orchestration: the ``repro bench`` engine.
+
+Every experiment the repo benches is described by one TOML file under
+``src/repro/bench/configs/`` — workload, graph-generator parameters,
+cluster shape, engine flags, repetitions and gate tolerances — instead
+of an ad-hoc script.  The runner loads those configs, selects a *suite*
+(``smoke`` / ``paper`` / ``full``), executes each workload with
+noise-aware min-of-N wall-clock sampling, verifies the event stream
+reconciles with the cluster cost counters, and returns ``repro-bench/v1``
+records that :mod:`repro.bench.regress` gates against the committed
+``BENCH_PR*.json`` history and :mod:`repro.bench.trajectory` renders as
+the cross-PR report.
+
+Config schema (see ``docs/BENCHMARKS.md`` for the full reference):
+
+.. code-block:: toml
+
+    [experiment]
+    name = "fig7_nr"
+    description = "NR: propagation vs MapReduce (Figure 7)"
+    suites = ["smoke", "paper", "full"]
+
+    [graph]                     # composite_social_graph parameters
+    communities = 32
+    community_size = 512
+    k = 8
+    p_r = 0.05
+    seed = 2010
+
+    [cluster]
+    topology = "T1"
+    machines = 32
+    parts = 64
+    layout = "bandwidth-aware"
+    seed = 2010
+
+    [sampling]
+    repetitions = 3             # wall_clock_s = min over N runs
+
+    [tolerances]                # per-metric gate overrides (optional)
+    wall_clock_s = 4.0
+
+    [[workload]]
+    name = "fig7_nr_propagation"
+    app = "NR"
+    engine = "propagation"
+    iterations = 2
+    vectorized = true
+
+Chaos experiments (``kind = "chaos"``) run a seeded
+:func:`~repro.runtime.chaos.run_chaos_sweep` instead of plain jobs and
+record the fault-free baseline next to the most-restarted schedule,
+each with its *own* wall clock.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import tomllib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import BenchConfigError, BenchRunError
+from repro.bench.benchjson import RECORD_FIELDS, job_record
+from repro.bench.workloads import (
+    STANDARD_COMMUNITIES,
+    STANDARD_COMMUNITY_SIZE,
+    STANDARD_K,
+    TOPOLOGY_NAMES,
+    Workload,
+    make_cluster,
+    standard_graph,
+    topology_by_name,
+)
+from repro.runtime.events import reconcile, wall_timer
+
+__all__ = [
+    "SUITES",
+    "DEFAULT_CONFIG_DIR",
+    "GraphSpec",
+    "ClusterSpec",
+    "WorkloadSpec",
+    "ChaosSpec",
+    "ExperimentConfig",
+    "SuiteResult",
+    "load_config",
+    "discover_configs",
+    "select_suite",
+    "run_experiment",
+    "run_suite",
+    "timed_job",
+    "timed_min_of_n",
+]
+
+#: the three execution tiers, cheapest first
+SUITES = ("smoke", "paper", "full")
+
+#: the committed experiment configs shipped with the package
+DEFAULT_CONFIG_DIR = pathlib.Path(__file__).resolve().parent / "configs"
+
+#: the standard composite-social recipe (p_r matches standard_graph)
+_STANDARD_RECIPE = (STANDARD_COMMUNITIES, STANDARD_COMMUNITY_SIZE,
+                    STANDARD_K, 0.05)
+
+ENGINES = ("propagation", "mapreduce")
+
+
+# ----------------------------------------------------------------------
+# Shared timing plumbing (also used by benchmarks/bench_*.py scripts)
+# ----------------------------------------------------------------------
+def timed_job(run: Callable[[], Any]) -> tuple[Any, float]:
+    """Run one job closure; returns ``(job, wall_seconds)``.
+
+    Build the Surfer *outside* the closure: deployment setup
+    (partitioning above all) must never land in the timed region.
+    """
+    timer = wall_timer()
+    job = run()
+    return job, timer.elapsed()
+
+
+def _simulated_signature(job: Any) -> tuple:
+    m = job.metrics
+    return (m.response_time, m.total_machine_time,
+            int(m.network_bytes), int(m.disk_bytes))
+
+
+def timed_min_of_n(run: Callable[[], Any], n: int = 1) -> tuple[Any, float]:
+    """Noise-aware sampling: run ``n`` times, keep the min wall clock.
+
+    Simulated metrics are deterministic, so repetitions only de-noise
+    the *real* wall clock; the sampler asserts that determinism and
+    raises :class:`BenchRunError` if two repetitions disagree on the
+    simulated numbers (that is a correctness bug, not noise).
+    """
+    if n < 1:
+        raise BenchRunError(f"repetitions must be >= 1, got {n}")
+    best_job: Any = None
+    best_wall = float("inf")
+    signature: tuple | None = None
+    for _ in range(n):
+        job, wall = timed_job(run)
+        sig = _simulated_signature(job)
+        if signature is None:
+            signature = sig
+        elif sig != signature:
+            raise BenchRunError(
+                "nondeterministic simulated metrics across repetitions: "
+                f"{signature} vs {sig}"
+            )
+        if wall < best_wall:
+            best_job, best_wall = job, wall
+    return best_job, best_wall
+
+
+# ----------------------------------------------------------------------
+# Config model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphSpec:
+    """``[graph]``: composite social graph generator parameters."""
+
+    communities: int = STANDARD_COMMUNITIES
+    community_size: int = STANDARD_COMMUNITY_SIZE
+    k: int = STANDARD_K
+    p_r: float = 0.05
+    seed: int = 2010
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """``[cluster]``: simulated cluster shape and deployment knobs."""
+
+    topology: str = "T1"
+    machines: int = 32
+    parts: int = 64
+    layout: str = "bandwidth-aware"
+    replication: int = 3
+    seed: int = 2010
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One ``[[workload]]``: a named job on the experiment's deployment."""
+
+    name: str
+    app: str
+    engine: str
+    iterations: int | None = None
+    vectorized: bool | None = None
+    local_opts: bool = True
+    combiner: bool = False
+    app_args: dict[str, Any] = field(default_factory=dict)
+    #: per-workload cluster-size override (fig11-style sweeps)
+    machines: int | None = None
+    #: per-workload partition override; ``"auto"`` = the paper's
+    #: memory/machine rule (experiments.parts_for)
+    parts: int | str | None = None
+    #: scale the graph with the machine count (weak scaling)
+    scale_graph_by_machines: bool = False
+    #: suite override; defaults to the experiment's suites
+    suites: tuple[str, ...] | None = None
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """``[chaos]``: a seeded fault-schedule sweep (kind = "chaos")."""
+
+    app: str
+    engine: str = "propagation"
+    iterations: int = 4
+    schedules: int = 12
+    seed: int = 2010
+    checkpoint_interval: int = 1
+    max_restarts: int = 3
+    prefix: str = "chaos"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One parsed + validated experiment TOML."""
+
+    name: str
+    description: str
+    suites: tuple[str, ...]
+    kind: str  # "jobs" | "chaos"
+    graph: GraphSpec
+    cluster: ClusterSpec
+    repetitions: int
+    tolerances: dict[str, float]
+    workloads: tuple[WorkloadSpec, ...] = ()
+    chaos: ChaosSpec | None = None
+    source: str = "<memory>"
+
+    def workloads_for(self, suite: str) -> tuple[WorkloadSpec, ...]:
+        """The workloads this suite selects (chaos: all-or-nothing)."""
+        if suite not in self.suites and not any(
+            suite in (w.suites or ()) for w in self.workloads
+        ):
+            return ()
+        if self.kind == "chaos":
+            return ()
+        return tuple(w for w in self.workloads
+                     if suite in (w.suites or self.suites))
+
+
+# ----------------------------------------------------------------------
+# Parsing + validation
+# ----------------------------------------------------------------------
+_EXPERIMENT_KEYS = {"name", "description", "suites", "kind"}
+_GRAPH_KEYS = {"communities", "community_size", "k", "p_r", "seed"}
+_CLUSTER_KEYS = {"topology", "machines", "parts", "layout",
+                 "replication", "seed"}
+_SAMPLING_KEYS = {"repetitions"}
+_WORKLOAD_KEYS = {"name", "app", "engine", "iterations", "vectorized",
+                  "local_opts", "combiner", "app_args", "machines",
+                  "parts", "scale_graph_by_machines", "suites"}
+_CHAOS_KEYS = {"app", "engine", "iterations", "schedules", "seed",
+               "checkpoint_interval", "max_restarts", "prefix"}
+_TOP_KEYS = {"experiment", "graph", "cluster", "sampling", "tolerances",
+             "workload", "chaos"}
+
+
+def _is_int(v: Any) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_num(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _known_apps() -> set[str]:
+    from repro.apps import APP_REGISTRY, EXTENSION_APPS
+
+    return set(APP_REGISTRY) | set(EXTENSION_APPS)
+
+
+def _check_keys(table: dict, allowed: set[str], where: str,
+                errors: list[str]) -> None:
+    for key in table:
+        if key not in allowed:
+            errors.append(f"{where}: unknown key {key!r} "
+                          f"(allowed: {sorted(allowed)})")
+
+
+def _suites_field(value: Any, where: str,
+                  errors: list[str]) -> tuple[str, ...]:
+    if (not isinstance(value, list) or not value
+            or not all(isinstance(s, str) for s in value)):
+        errors.append(f"{where}: suites must be a non-empty string list")
+        return ()
+    bad = [s for s in value if s not in SUITES]
+    if bad:
+        errors.append(f"{where}: unknown suites {bad} "
+                      f"(known: {list(SUITES)})")
+    return tuple(value)
+
+
+def _pos_int(table: dict, key: str, default: int, where: str,
+             errors: list[str]) -> int:
+    value = table.get(key, default)
+    if not _is_int(value) or value < 1:
+        errors.append(f"{where}: {key} must be a positive integer, "
+                      f"got {value!r}")
+        return default
+    return value
+
+
+def _parse_workload(table: Any, index: int, suites: tuple[str, ...],
+                    errors: list[str]) -> WorkloadSpec | None:
+    where = f"[[workload]] #{index + 1}"
+    if not isinstance(table, dict):
+        errors.append(f"{where}: not a table")
+        return None
+    _check_keys(table, _WORKLOAD_KEYS, where, errors)
+    name = table.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: name must be a non-empty string")
+        name = f"<workload-{index}>"
+    app = table.get("app")
+    if not isinstance(app, str) or app not in _known_apps():
+        errors.append(f"{where} ({name}): unknown app {app!r} "
+                      f"(known: {sorted(_known_apps())})")
+        app = "NR"
+    engine = table.get("engine")
+    if engine not in ENGINES:
+        errors.append(f"{where} ({name}): engine must be one of "
+                      f"{ENGINES}, got {engine!r}")
+        engine = "propagation"
+    iterations = table.get("iterations")
+    if iterations is not None and (not _is_int(iterations)
+                                   or iterations < 1):
+        errors.append(f"{where} ({name}): iterations must be a positive "
+                      f"integer, got {iterations!r}")
+        iterations = None
+    vectorized = table.get("vectorized")
+    if vectorized is not None and not isinstance(vectorized, bool):
+        errors.append(f"{where} ({name}): vectorized must be a bool")
+        vectorized = None
+    for flag in ("local_opts", "combiner", "scale_graph_by_machines"):
+        if flag in table and not isinstance(table[flag], bool):
+            errors.append(f"{where} ({name}): {flag} must be a bool")
+    app_args = table.get("app_args", {})
+    if not isinstance(app_args, dict):
+        errors.append(f"{where} ({name}): app_args must be a table")
+        app_args = {}
+    machines = table.get("machines")
+    if machines is not None and (not _is_int(machines) or machines < 1):
+        errors.append(f"{where} ({name}): machines must be a positive "
+                      f"integer, got {machines!r}")
+        machines = None
+    parts = table.get("parts")
+    if parts is not None and parts != "auto" and (
+            not _is_int(parts) or parts < 1):
+        errors.append(f"{where} ({name}): parts must be a positive "
+                      f"integer or \"auto\", got {parts!r}")
+        parts = None
+    wl_suites: tuple[str, ...] | None = None
+    if "suites" in table:
+        wl_suites = _suites_field(table["suites"], f"{where} ({name})",
+                                  errors) or None
+    return WorkloadSpec(
+        name=name,
+        app=app,
+        engine=str(engine),
+        iterations=iterations,
+        vectorized=vectorized,
+        local_opts=bool(table.get("local_opts", True)),
+        combiner=bool(table.get("combiner", False)),
+        app_args=dict(app_args),
+        machines=machines,
+        parts=parts,
+        scale_graph_by_machines=bool(
+            table.get("scale_graph_by_machines", False)),
+        suites=wl_suites,
+    )
+
+
+def _parse_tolerances(table: Any, errors: list[str]) -> dict[str, float]:
+    if table is None:
+        return {}
+    if not isinstance(table, dict):
+        errors.append("[tolerances]: not a table")
+        return {}
+    out: dict[str, float] = {}
+    for key, value in table.items():
+        if key not in RECORD_FIELDS:
+            errors.append(f"[tolerances]: unknown metric {key!r} "
+                          f"(known: {list(RECORD_FIELDS)})")
+            continue
+        if not _is_num(value) or value < 0:
+            errors.append(f"[tolerances]: {key} must be a non-negative "
+                          f"number, got {value!r}")
+            continue
+        out[key] = float(value)
+    return out
+
+
+def parse_config(doc: dict, source: str = "<memory>") -> ExperimentConfig:
+    """Validate a decoded TOML document into an :class:`ExperimentConfig`.
+
+    Collects *every* violation and raises one :class:`BenchConfigError`
+    naming them all.
+    """
+    errors: list[str] = []
+    _check_keys(doc, _TOP_KEYS, "top level", errors)
+
+    exp = doc.get("experiment")
+    if not isinstance(exp, dict):
+        raise BenchConfigError(source, ["missing [experiment] table"])
+    _check_keys(exp, _EXPERIMENT_KEYS, "[experiment]", errors)
+    name = exp.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append("[experiment]: name must be a non-empty string")
+        name = "<unnamed>"
+    suites = _suites_field(exp.get("suites"), "[experiment]", errors)
+    kind = exp.get("kind", "jobs")
+    if kind not in ("jobs", "chaos"):
+        errors.append(f"[experiment]: kind must be \"jobs\" or "
+                      f"\"chaos\", got {kind!r}")
+        kind = "jobs"
+
+    graph_tbl = doc.get("graph", {})
+    if not isinstance(graph_tbl, dict):
+        errors.append("[graph]: not a table")
+        graph_tbl = {}
+    _check_keys(graph_tbl, _GRAPH_KEYS, "[graph]", errors)
+    p_r = graph_tbl.get("p_r", 0.05)
+    if not _is_num(p_r) or not 0 <= p_r <= 1:
+        errors.append(f"[graph]: p_r must be a number in [0, 1], "
+                      f"got {p_r!r}")
+        p_r = 0.05
+    graph = GraphSpec(
+        communities=_pos_int(graph_tbl, "communities",
+                             STANDARD_COMMUNITIES, "[graph]", errors),
+        community_size=_pos_int(graph_tbl, "community_size",
+                                STANDARD_COMMUNITY_SIZE, "[graph]",
+                                errors),
+        k=_pos_int(graph_tbl, "k", STANDARD_K, "[graph]", errors),
+        p_r=float(p_r),
+        seed=graph_tbl.get("seed", 2010)
+        if _is_int(graph_tbl.get("seed", 2010))
+        else _append_and_default(errors, "[graph]: seed must be an "
+                                 "integer", 2010),
+    )
+
+    cluster_tbl = doc.get("cluster", {})
+    if not isinstance(cluster_tbl, dict):
+        errors.append("[cluster]: not a table")
+        cluster_tbl = {}
+    _check_keys(cluster_tbl, _CLUSTER_KEYS, "[cluster]", errors)
+    topology = cluster_tbl.get("topology", "T1")
+    if topology not in TOPOLOGY_NAMES:
+        errors.append(f"[cluster]: unknown topology {topology!r} "
+                      f"(known: {list(TOPOLOGY_NAMES)})")
+        topology = "T1"
+    layout = cluster_tbl.get("layout", "bandwidth-aware")
+    if layout not in ("bandwidth-aware", "oblivious"):
+        errors.append(f"[cluster]: layout must be \"bandwidth-aware\" "
+                      f"or \"oblivious\", got {layout!r}")
+        layout = "bandwidth-aware"
+    cluster = ClusterSpec(
+        topology=str(topology),
+        machines=_pos_int(cluster_tbl, "machines", 32, "[cluster]",
+                          errors),
+        parts=_pos_int(cluster_tbl, "parts", 64, "[cluster]", errors),
+        layout=str(layout),
+        replication=_pos_int(cluster_tbl, "replication", 3, "[cluster]",
+                             errors),
+        seed=cluster_tbl.get("seed", 2010)
+        if _is_int(cluster_tbl.get("seed", 2010))
+        else _append_and_default(errors, "[cluster]: seed must be an "
+                                 "integer", 2010),
+    )
+
+    sampling = doc.get("sampling", {})
+    if not isinstance(sampling, dict):
+        errors.append("[sampling]: not a table")
+        sampling = {}
+    _check_keys(sampling, _SAMPLING_KEYS, "[sampling]", errors)
+    repetitions = _pos_int(sampling, "repetitions", 1, "[sampling]",
+                           errors)
+
+    tolerances = _parse_tolerances(doc.get("tolerances"), errors)
+
+    workloads: list[WorkloadSpec] = []
+    chaos: ChaosSpec | None = None
+    if kind == "chaos":
+        if "workload" in doc:
+            errors.append("chaos experiments take a [chaos] table, "
+                          "not [[workload]] entries")
+        chaos_tbl = doc.get("chaos")
+        if not isinstance(chaos_tbl, dict):
+            errors.append("kind = \"chaos\" requires a [chaos] table")
+        else:
+            _check_keys(chaos_tbl, _CHAOS_KEYS, "[chaos]", errors)
+            app = chaos_tbl.get("app")
+            if not isinstance(app, str) or app not in _known_apps():
+                errors.append(f"[chaos]: unknown app {app!r}")
+                app = "NR"
+            engine = chaos_tbl.get("engine", "propagation")
+            if engine not in ENGINES:
+                errors.append(f"[chaos]: engine must be one of "
+                              f"{ENGINES}, got {engine!r}")
+                engine = "propagation"
+            prefix = chaos_tbl.get("prefix", name)
+            if not isinstance(prefix, str) or not prefix:
+                errors.append("[chaos]: prefix must be a non-empty "
+                              "string")
+                prefix = name
+            chaos = ChaosSpec(
+                app=str(app),
+                engine=str(engine),
+                iterations=_pos_int(chaos_tbl, "iterations", 4,
+                                    "[chaos]", errors),
+                schedules=_pos_int(chaos_tbl, "schedules", 12,
+                                   "[chaos]", errors),
+                seed=chaos_tbl.get("seed", 2010)
+                if _is_int(chaos_tbl.get("seed", 2010))
+                else _append_and_default(errors, "[chaos]: seed must "
+                                         "be an integer", 2010),
+                checkpoint_interval=_pos_int(chaos_tbl,
+                                             "checkpoint_interval", 1,
+                                             "[chaos]", errors),
+                max_restarts=_pos_int(chaos_tbl, "max_restarts", 3,
+                                      "[chaos]", errors),
+                prefix=str(prefix),
+            )
+    else:
+        raw = doc.get("workload", [])
+        if not isinstance(raw, list) or not raw:
+            errors.append("jobs experiments need at least one "
+                          "[[workload]] entry")
+            raw = []
+        for i, tbl in enumerate(raw):
+            spec = _parse_workload(tbl, i, suites, errors)
+            if spec is not None:
+                workloads.append(spec)
+        names = [w.name for w in workloads]
+        for dup in sorted({n for n in names if names.count(n) > 1}):
+            errors.append(f"duplicate workload name {dup!r}")
+
+    if errors:
+        raise BenchConfigError(source, errors)
+    return ExperimentConfig(
+        name=name,
+        description=str(exp.get("description", "")),
+        suites=suites,
+        kind=kind,
+        graph=graph,
+        cluster=cluster,
+        repetitions=repetitions,
+        tolerances=tolerances,
+        workloads=tuple(workloads),
+        chaos=chaos,
+        source=source,
+    )
+
+
+def _append_and_default(errors: list[str], message: str, default: int) -> int:
+    errors.append(message)
+    return default
+
+
+def load_config(path: str | pathlib.Path) -> ExperimentConfig:
+    """Parse one TOML config file (raises :class:`BenchConfigError`)."""
+    path = pathlib.Path(path)
+    try:
+        with open(path, "rb") as fh:
+            doc = tomllib.load(fh)
+    except tomllib.TOMLDecodeError as exc:
+        raise BenchConfigError(str(path), [f"TOML parse error: {exc}"])
+    return parse_config(doc, source=str(path))
+
+
+def discover_configs(
+    config_dir: str | pathlib.Path | None = None,
+) -> list[ExperimentConfig]:
+    """All ``*.toml`` configs in a directory, sorted by experiment name."""
+    directory = pathlib.Path(config_dir) if config_dir else DEFAULT_CONFIG_DIR
+    if not directory.is_dir():
+        raise BenchConfigError(str(directory), ["not a directory"])
+    configs = [load_config(p) for p in sorted(directory.glob("*.toml"))]
+    names = [c.name for c in configs]
+    for dup in sorted({n for n in names if names.count(n) > 1}):
+        raise BenchConfigError(
+            str(directory), [f"duplicate experiment name {dup!r}"]
+        )
+    return sorted(configs, key=lambda c: c.name)
+
+
+def select_suite(
+    configs: list[ExperimentConfig], suite: str,
+) -> list[ExperimentConfig]:
+    """The configs a suite runs (chaos: experiment-level membership)."""
+    if suite not in SUITES:
+        raise BenchConfigError(
+            "<suite>", [f"unknown suite {suite!r} (known: {list(SUITES)})"]
+        )
+    selected = []
+    for cfg in configs:
+        if cfg.kind == "chaos":
+            if suite in cfg.suites:
+                selected.append(cfg)
+        elif cfg.workloads_for(suite):
+            selected.append(cfg)
+    return selected
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _build_graph(spec: GraphSpec, scale: float = 1.0):
+    """The experiment graph; the standard recipe goes through the
+    memoized :func:`standard_graph` so bisection caches are shared."""
+    from repro.graph.generators import composite_social_graph
+
+    recipe = (spec.communities, spec.community_size, spec.k, spec.p_r)
+    if recipe == _STANDARD_RECIPE:
+        return standard_graph(seed=spec.seed, scale=scale)
+    return composite_social_graph(
+        num_communities=max(2, int(spec.communities * scale)),
+        community_size=spec.community_size,
+        k=spec.k,
+        p_r=spec.p_r,
+        seed=spec.seed,
+    )
+
+
+def _make_app(name: str, engine: str, app_args: dict[str, Any]):
+    from repro.apps import APP_REGISTRY, EXTENSION_APPS
+    from repro.bench.experiments import make_app
+
+    if not app_args:
+        if name in APP_REGISTRY:
+            return make_app(name, engine)
+        prop_cls, mr_cls = EXTENSION_APPS[name]
+        cls = prop_cls if engine == "propagation" else mr_cls
+        if cls is None:
+            raise BenchRunError(f"{name} has no {engine} implementation")
+        return cls()
+    if name in APP_REGISTRY:
+        prop_cls, mr_cls, _ = APP_REGISTRY[name]
+    else:
+        prop_cls, mr_cls = EXTENSION_APPS[name]
+    cls = prop_cls if engine == "propagation" else mr_cls
+    if cls is None:
+        raise BenchRunError(f"{name} has no {engine} implementation")
+    return cls(**app_args)
+
+
+def _default_iterations(app: str) -> int:
+    from repro.apps import APP_REGISTRY
+
+    if app in APP_REGISTRY:
+        return APP_REGISTRY[app][2]
+    return 50  # extension apps run until convergence
+
+
+def _run_jobs_experiment(
+    cfg: ExperimentConfig,
+    workloads: tuple[WorkloadSpec, ...],
+    repetitions: int,
+    progress: Callable[[str], None] | None,
+) -> dict[str, dict]:
+    from repro.bench.experiments import parts_for
+
+    records: dict[str, dict] = {}
+    surfers: dict[tuple, Any] = {}
+    for wl in workloads:
+        machines = wl.machines or cfg.cluster.machines
+        scale = (machines / float(cfg.cluster.machines)
+                 if wl.scale_graph_by_machines else 1.0)
+        graph = _build_graph(cfg.graph, scale)
+        if wl.parts == "auto":
+            parts = parts_for(graph, machines)
+        else:
+            parts = int(wl.parts) if wl.parts is not None \
+                else cfg.cluster.parts
+        key = (machines, parts, scale)
+        if key not in surfers:
+            workload = Workload(
+                graph=graph,
+                cluster=make_cluster(
+                    topology_by_name(cfg.cluster.topology, machines)),
+                num_parts=parts,
+                seed=cfg.cluster.seed,
+            )
+            surfers[key] = workload.surfer(cfg.cluster.layout)
+        surfer = surfers[key]
+        iterations = wl.iterations or _default_iterations(wl.app)
+
+        def run(wl: WorkloadSpec = wl, surfer: Any = surfer,
+                iterations: int = iterations) -> Any:
+            app = _make_app(wl.app, wl.engine, wl.app_args)
+            if wl.engine == "mapreduce":
+                return surfer.run_mapreduce(
+                    app, rounds=iterations, vectorized=wl.vectorized,
+                    combiner=wl.combiner,
+                )
+            return surfer.run_propagation(
+                app, iterations=iterations, local_opts=wl.local_opts,
+                vectorized=wl.vectorized,
+            )
+
+        job, wall = timed_min_of_n(run, repetitions)
+        if job.failed:
+            raise BenchRunError(
+                f"workload {wl.name!r} failed: {job.error}"
+            )
+        issues = reconcile(job)
+        if issues:
+            raise BenchRunError(
+                f"workload {wl.name!r} does not reconcile: "
+                + "; ".join(issues)
+            )
+        records[wl.name] = job_record(job, wall)
+        if progress is not None:
+            progress(f"  {wl.name}: makespan "
+                     f"{records[wl.name]['makespan_s']:,.1f}s sim, "
+                     f"wall {wall:.3f}s (min of {repetitions})")
+    return records
+
+
+def _run_chaos_experiment(
+    cfg: ExperimentConfig,
+    progress: Callable[[str], None] | None,
+) -> dict[str, dict]:
+    from repro.runtime.chaos import run_chaos_sweep, surfer_factory
+    from repro.runtime.checkpoint import CheckpointPolicy
+
+    spec = cfg.chaos
+    assert spec is not None  # validated at parse time
+    graph = _build_graph(cfg.graph)
+    make_surfer = surfer_factory(
+        graph,
+        lambda: make_cluster(
+            topology_by_name(cfg.cluster.topology, cfg.cluster.machines)),
+        num_parts=cfg.cluster.parts,
+        replication=cfg.cluster.replication,
+        seed=cfg.cluster.seed,
+        layout=cfg.cluster.layout,
+    )
+    policy = CheckpointPolicy(interval=spec.checkpoint_interval,
+                              max_restarts=spec.max_restarts)
+
+    def run_job(surfer: Any, plan: Any) -> Any:
+        app = _make_app(spec.app, spec.engine, {})
+        ckpt = policy if plan is not None else None
+        if spec.engine == "mapreduce":
+            return surfer.run_mapreduce(
+                app, rounds=spec.iterations, fault_plan=plan,
+                checkpoint=ckpt,
+            )
+        return surfer.run_propagation(
+            app, iterations=spec.iterations, fault_plan=plan,
+            checkpoint=ckpt,
+        )
+
+    report = run_chaos_sweep(make_surfer, run_job, spec.schedules,
+                             spec.seed)
+    if not report.ok:
+        raise BenchRunError(
+            "chaos sweep violated the recovery invariant:\n"
+            + report.summary()
+        )
+    records = {
+        f"{spec.prefix}_baseline":
+            job_record(report.baseline, report.baseline_wall_s),
+    }
+    if report.restarted_job is not None:
+        records[f"{spec.prefix}_restarted"] = job_record(
+            report.restarted_job, report.restarted_wall_s
+        )
+    if progress is not None:
+        progress(f"  {spec.prefix}: {len(report.outcomes)} schedules, "
+                 f"{report.total_restarts} restarts, "
+                 f"{report.clean_failures} clean failures")
+    return records
+
+
+def run_experiment(
+    cfg: ExperimentConfig,
+    suite: str | None = None,
+    repetitions: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, dict]:
+    """Execute one experiment; returns ``{workload_name: record}``.
+
+    ``suite=None`` runs every workload; otherwise only those the suite
+    selects.  ``repetitions`` overrides the config's min-of-N count.
+    """
+    reps = repetitions if repetitions is not None else cfg.repetitions
+    if cfg.kind == "chaos":
+        return _run_chaos_experiment(cfg, progress)
+    workloads = (cfg.workloads if suite is None
+                 else cfg.workloads_for(suite))
+    return _run_jobs_experiment(cfg, workloads, reps, progress)
+
+
+@dataclass
+class SuiteResult:
+    """Everything one ``repro bench`` invocation produced."""
+
+    suite: str
+    records: dict[str, dict]
+    experiments: list[str]
+    #: per-workload gate-tolerance overrides from the experiment configs
+    tolerances: dict[str, dict[str, float]]
+
+
+def run_suite(
+    suite: str,
+    config_dir: str | pathlib.Path | None = None,
+    repetitions: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SuiteResult:
+    """Run every experiment a suite selects, in name order."""
+    configs = select_suite(discover_configs(config_dir), suite)
+    records: dict[str, dict] = {}
+    tolerances: dict[str, dict[str, float]] = {}
+    for cfg in configs:
+        if progress is not None:
+            progress(f"experiment {cfg.name} ({cfg.source})")
+        result = run_experiment(cfg, suite=suite,
+                                repetitions=repetitions,
+                                progress=progress)
+        overlap = set(result) & set(records)
+        if overlap:
+            raise BenchRunError(
+                f"experiment {cfg.name!r} re-defines workload(s) "
+                f"{sorted(overlap)} already produced by another config"
+            )
+        records.update(result)
+        for name in result:
+            if cfg.tolerances:
+                tolerances[name] = dict(cfg.tolerances)
+    return SuiteResult(
+        suite=suite,
+        records=records,
+        experiments=[c.name for c in configs],
+        tolerances=tolerances,
+    )

@@ -28,10 +28,12 @@ __all__ = [
     "standard_workload",
     "scaled_graph",
     "topology_suite",
+    "topology_by_name",
     "make_cluster",
     "PAPER_GRAPH_BYTES",
     "HARDWARE_SCALE",
     "SCALED_LINK_BPS",
+    "TOPOLOGY_NAMES",
 ]
 
 # ||G|| for the Table 1 elapsed-time model: the paper's >100 GB graph.
@@ -182,3 +184,26 @@ def topology_suite(num_machines: int = 32,
         "T2(4,2)": t2(4, 2, num_machines, link_bps),
         "T3": t3(num_machines, link_bps),
     }
+
+
+#: paper topology names accepted by :func:`topology_by_name` (and the
+#: CLI / bench-config surfaces built on it)
+TOPOLOGY_NAMES = ("T1", "T2(2,1)", "T2(4,1)", "T2(4,2)", "T3")
+
+
+def topology_by_name(name: str, num_machines: int,
+                     link_bps: float = SCALED_LINK_BPS) -> Topology:
+    """One paper topology by name (``T1``/``T2(p,l)``/``T3``)."""
+    if name == "T1":
+        return t1(num_machines, link_bps)
+    if name == "T3":
+        return t3(num_machines, link_bps)
+    try:
+        pods, levels = {
+            "T2(2,1)": (2, 1), "T2(4,1)": (4, 1), "T2(4,2)": (4, 2),
+        }[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; expected one of {TOPOLOGY_NAMES}"
+        ) from None
+    return t2(pods, levels, num_machines, link_bps)

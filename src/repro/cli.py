@@ -12,6 +12,10 @@
   application with checkpoint/restore enabled, verifying every schedule
   ends bit-identical to the fault-free baseline or as a cleanly-reported
   failure (exit 1 on any violation);
+* ``bench`` — run a declarative benchmark suite (``smoke``/``paper``/
+  ``full``) from the committed TOML experiment configs, emit
+  ``repro-bench/v1`` JSON plus the cross-PR trajectory report, and
+  optionally gate on regressions against the committed baselines;
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``partition`` — partition a graph and save the plan to a ``.npz`` file;
 * ``info`` — describe a saved plan;
@@ -147,6 +151,44 @@ def _build_parser() -> argparse.ArgumentParser:
     ginfo.add_argument("--no-ier", action="store_true",
                        help="skip the (slow) partition-quality curve")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run a config-driven benchmark suite, render the cross-PR "
+             "trajectory and (optionally) gate against the committed "
+             "BENCH_PR*.json baselines",
+    )
+    bench.add_argument("--suite", choices=("smoke", "paper", "full"),
+                       default="smoke",
+                       help="which experiment tier to run (default smoke)")
+    bench.add_argument("--configs", default=None,
+                       help="experiment config directory (default: the "
+                            "committed src/repro/bench/configs)")
+    bench.add_argument("--repetitions", type=int, default=None,
+                       help="override every config's min-of-N "
+                            "wall-clock sampling count")
+    bench.add_argument("--json", dest="json_path", default=None,
+                       help="repro-bench/v1 output path "
+                            "(default bench_<suite>.json)")
+    bench.add_argument("--report", default=None,
+                       help="markdown trajectory report path "
+                            "(default bench_<suite>_trajectory.md)")
+    bench.add_argument("--html", default=None,
+                       help="also write the trajectory as a "
+                            "self-contained HTML page")
+    bench.add_argument("--gate", action="store_true",
+                       help="fail (exit 1) on any metric regression "
+                            "beyond tolerance vs the latest committed "
+                            "baseline")
+    bench.add_argument("--bless", default=None, metavar="PRTAG",
+                       help="write this run as BENCH_<PRTAG>.json at "
+                            "the repo root (the new baseline), "
+                            "e.g. --bless PR7")
+    bench.add_argument("--root", default=".",
+                       help="directory holding the BENCH_PR*.json "
+                            "history (default: cwd)")
+    bench.add_argument("--list", action="store_true",
+                       help="list the discovered configs and exit")
+
     check = sub.add_parser(
         "check",
         help="run the domain-aware static-analysis gate "
@@ -173,17 +215,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _make_topology(name: str, machines: int):
-    from repro.bench.workloads import SCALED_LINK_BPS
-    from repro.cluster.topology import t1, t2, t3
+    from repro.bench.workloads import topology_by_name
 
-    if name == "T1":
-        return t1(machines, SCALED_LINK_BPS)
-    if name == "T3":
-        return t3(machines, SCALED_LINK_BPS)
-    pods, levels = {
-        "T2(2,1)": (2, 1), "T2(4,1)": (4, 1), "T2(4,2)": (4, 2),
-    }[name]
-    return t2(pods, levels, machines, SCALED_LINK_BPS)
+    return topology_by_name(name, machines)
 
 
 def _make_graph(args, symmetrize: bool = False):
@@ -386,11 +420,15 @@ def _cmd_chaos(args) -> int:
     print(report.summary())
     print(f"wall clock: {wall:,.1f}s real")
     if args.bench:
+        # per-job walls, not the whole-sweep wall: the sweep includes
+        # every schedule, so stamping `wall` on both records would make
+        # baseline and restarted indistinguishable in the bench JSON
         name = f"chaos_{args.app}_{args.engine}"
-        workloads = {f"{name}_baseline": job_record(report.baseline, wall)}
+        workloads = {f"{name}_baseline": job_record(
+            report.baseline, report.baseline_wall_s)}
         if report.restarted_job is not None:
             workloads[f"{name}_restarted"] = job_record(
-                report.restarted_job, wall
+                report.restarted_job, report.restarted_wall_s
             )
         write_bench_json(args.bench, workloads, pr="PR6")
         print(f"bench JSON: {args.bench} "
@@ -532,6 +570,97 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import pathlib
+
+    from repro.bench.benchjson import write_bench_json
+    from repro.bench.harness import ExperimentTable
+    from repro.bench.regress import gate as run_gate
+    from repro.bench.runner import discover_configs, run_suite
+    from repro.bench.trajectory import (
+        load_history,
+        render_html,
+        render_markdown,
+    )
+    from repro.errors import BenchConfigError, BenchRunError
+
+    try:
+        configs = discover_configs(args.configs)
+    except BenchConfigError as exc:
+        print(f"config error: {exc.source}", file=sys.stderr)
+        for e in exc.errors:
+            print(f"  {e}", file=sys.stderr)
+        return 2
+    if args.list:
+        for cfg in configs:
+            kind = f" [{cfg.kind}]" if cfg.kind != "jobs" else ""
+            workloads = (len(cfg.workloads) if cfg.kind == "jobs" else 2)
+            print(f"{cfg.name}{kind}: suites {', '.join(cfg.suites)} — "
+                  f"{workloads} workload(s) — {cfg.description}")
+        return 0
+
+    try:
+        result = run_suite(args.suite, config_dir=args.configs,
+                           repetitions=args.repetitions, progress=print)
+    except (BenchConfigError, BenchRunError) as exc:
+        print(f"bench run failed: {exc}", file=sys.stderr)
+        return 2
+    if not result.records:
+        print(f"suite {args.suite!r} selected no workloads",
+              file=sys.stderr)
+        return 2
+
+    table = ExperimentTable(
+        title=f"repro bench — suite {args.suite!r} "
+              f"({len(result.records)} workloads, "
+              f"experiments: {', '.join(result.experiments)})",
+        columns=["makespan (s)", "machine (s)", "net (B)", "disk (B)",
+                 "messages", "tasks", "wall (s)"],
+    )
+    for name in sorted(result.records):
+        r = result.records[name]
+        table.add_row(name, [
+            r["makespan_s"], r["machine_time_s"], r["network_bytes"],
+            r["disk_bytes"], r["messages_shipped"], r["tasks"],
+            r["wall_clock_s"],
+        ])
+    print()
+    print(table.render())
+    print()
+
+    root = pathlib.Path(args.root)
+    history = load_history(root)
+    pr_tag = args.bless or "current"
+    json_path = args.json_path or f"bench_{args.suite}.json"
+    write_bench_json(json_path, result.records, pr=pr_tag)
+    print(f"bench JSON    : {json_path} (repro-bench/v1, pr={pr_tag})")
+    if args.bless:
+        bless_path = root / f"BENCH_{args.bless}.json"
+        write_bench_json(bless_path, result.records, pr=args.bless)
+        print(f"blessed       : {bless_path} (new committed baseline)")
+
+    gate_result = run_gate(result.records, history,
+                           per_workload=result.tolerances)
+    report_path = args.report or f"bench_{args.suite}_trajectory.md"
+    markdown = render_markdown(history, result.records,
+                               current_label=pr_tag,
+                               gate_result=gate_result)
+    pathlib.Path(report_path).write_text(markdown, encoding="utf-8")
+    print(f"trajectory    : {report_path} "
+          f"({len(history)} committed baseline(s) joined)")
+    if args.html:
+        html_doc = render_html(history, result.records,
+                               current_label=pr_tag,
+                               gate_result=gate_result)
+        pathlib.Path(args.html).write_text(html_doc, encoding="utf-8")
+        print(f"trajectory    : {args.html} (HTML)")
+    print()
+    print(gate_result.render())
+    if args.gate and not gate_result.ok:
+        return 1
+    return 0
+
+
 def _cmd_check(args) -> int:
     from repro.analysis.runner import check_paths
     from repro.analysis.typing_gate import run_mypy
@@ -561,6 +690,7 @@ def main(argv: list[str] | None = None) -> int:
         "partition": _cmd_partition,
         "info": _cmd_info,
         "graphinfo": _cmd_graphinfo,
+        "bench": _cmd_bench,
         "check": _cmd_check,
     }
     return handlers[args.command](args)

@@ -30,7 +30,7 @@ import numpy as np
 from repro.errors import FaultInjectionError, JobError
 from repro.cluster.faults import FaultPlan
 from repro.core.surfer import JobResult, Surfer
-from repro.runtime.events import reconcile
+from repro.runtime.events import reconcile, wall_timer
 
 __all__ = ["ChaosOutcome", "ChaosReport", "random_fault_plan",
            "results_identical", "run_chaos_sweep", "surfer_factory"]
@@ -145,6 +145,8 @@ class ChaosOutcome:
     restarts: int = 0
     checkpoints: int = 0
     detail: str | None = None
+    #: real Python seconds this schedule's job took (0.0 if it escaped)
+    wall_s: float = 0.0
 
 
 @dataclass
@@ -158,6 +160,12 @@ class ChaosReport:
     #: callers can report/bench the recovery overhead next to the
     #: baseline without re-running its schedule
     restarted_job: JobResult | None = None
+    #: real Python seconds for the fault-free baseline run alone (the
+    #: deployment build is excluded; benches must not report the whole
+    #: sweep's wall clock as a per-job number)
+    baseline_wall_s: float = 0.0
+    #: real Python seconds for the retained ``restarted_job`` run
+    restarted_wall_s: float = 0.0
 
     @property
     def violations(self) -> list[ChaosOutcome]:
@@ -213,7 +221,9 @@ def run_chaos_sweep(
     if schedules < 1:
         raise JobError("chaos sweep needs at least one schedule")
     surfer = make_surfer()
+    timer = wall_timer()
     baseline = run_job(surfer, None)
+    baseline_wall = timer.elapsed()
     if baseline.failed:
         raise JobError(f"fault-free baseline failed: {baseline.error}")
     base_issues = reconcile(baseline)
@@ -226,7 +236,8 @@ def run_chaos_sweep(
                     for p in range(surfer.store.num_partitions)]
     horizon = max(baseline.response_time * horizon_factor, 1.0)
 
-    report = ChaosReport(seed=seed, baseline=baseline)
+    report = ChaosReport(seed=seed, baseline=baseline,
+                         baseline_wall_s=baseline_wall)
     for i in range(schedules):
         rng = np.random.default_rng([seed, i])
         plan = random_fault_plan(rng, num_machines, horizon,
@@ -237,8 +248,12 @@ def run_chaos_sweep(
         job: JobResult | None = None
         status = "identical"
         detail: str | None = None
+        wall = 0.0
         try:
-            job = run_job(make_surfer(), plan)
+            sched_surfer = make_surfer()
+            timer = wall_timer()
+            job = run_job(sched_surfer, plan)
+            wall = timer.elapsed()
         except Exception as exc:  # noqa: BLE001 -- any escape is a violation
             status = "violation"
             detail = f"escaped {type(exc).__name__}: {exc}"
@@ -266,11 +281,13 @@ def run_chaos_sweep(
             restarts=job.restarts if job is not None else 0,
             checkpoints=job.checkpoints if job is not None else 0,
             detail=detail,
+            wall_s=wall,
         ))
         if (status == "identical" and job is not None and job.restarts
                 and (report.restarted_job is None
                      or job.restarts > report.restarted_job.restarts)):
             report.restarted_job = job
+            report.restarted_wall_s = wall
     return report
 
 

@@ -1,0 +1,205 @@
+"""Tests for the perf-trajectory regression gate and the report renderer.
+
+The gate compares freshly measured ``repro-bench/v1`` records against
+the latest committed ``BENCH_PR*.json`` baseline per workload; these
+tests pin its semantics: identical records pass, an injected +20%
+makespan regression fails, per-metric tolerances are respected,
+improvements never fail, and unbaselined workloads are a note rather
+than an error.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.benchjson import RECORD_FIELDS, SCHEMA
+from repro.bench.regress import (
+    DEFAULT_TOLERANCES,
+    compare_records,
+    gate,
+    latest_baselines,
+)
+from repro.bench.trajectory import (
+    load_history,
+    render_html,
+    render_markdown,
+    workload_series,
+)
+from repro.errors import BenchRunError
+
+
+def record(**overrides):
+    base = {
+        "makespan_s": 100.0,
+        "machine_time_s": 400.0,
+        "network_bytes": 10_000,
+        "disk_bytes": 50_000,
+        "messages_shipped": 1_000,
+        "tasks": 64,
+        "wall_clock_s": 0.5,
+    }
+    base.update(overrides)
+    return base
+
+
+def doc(pr, **workloads):
+    return {"schema": SCHEMA, "pr": pr, "workloads": workloads}
+
+
+HISTORY = [doc("PR3", w=record()), doc("PR5", w=record(makespan_s=90.0))]
+
+
+class TestLatestBaselines:
+    def test_newest_doc_wins(self):
+        latest = latest_baselines(HISTORY)
+        pr, base = latest["w"]
+        assert pr == "PR5"
+        assert base["makespan_s"] == 90.0
+
+    def test_union_across_docs(self):
+        history = [doc("PR3", a=record()), doc("PR4", b=record())]
+        latest = latest_baselines(history)
+        assert set(latest) == {"a", "b"}
+        assert latest["a"][0] == "PR3"
+
+
+class TestGate:
+    def test_passes_at_baseline(self):
+        result = compare_records({"w": record(makespan_s=90.0)}, HISTORY)
+        assert result.ok
+        assert result.regressions == []
+        assert "PASS" in result.render()
+        # one finding per metric, all against the PR5 baseline
+        assert len(result.findings) == len(RECORD_FIELDS)
+        assert {f.baseline_pr for f in result.findings} == {"PR5"}
+
+    def test_fails_on_injected_makespan_regression(self):
+        # +20% makespan, tolerance 5% -> gate must fail
+        result = compare_records({"w": record(makespan_s=108.0)}, HISTORY)
+        assert not result.ok
+        (finding,) = result.regressions
+        assert finding.metric == "makespan_s"
+        assert finding.delta_pct == pytest.approx(20.0)
+        rendered = result.render()
+        assert "FAIL" in rendered and "REGRESSION" in rendered
+
+    def test_per_metric_tolerances_respected(self):
+        # +4% on makespan (tol 5%) passes; +4% on network (tol 2%) fails
+        current = {"w": record(makespan_s=90.0 * 1.04,
+                               network_bytes=10_400)}
+        result = compare_records(current, HISTORY)
+        assert [f.metric for f in result.regressions] == ["network_bytes"]
+
+    def test_zero_tolerance_metrics_fail_on_any_increase(self):
+        result = compare_records({"w": record(makespan_s=90.0,
+                                              tasks=65)}, HISTORY)
+        assert [f.metric for f in result.regressions] == ["tasks"]
+        assert DEFAULT_TOLERANCES["tasks"] == 0.0
+
+    def test_improvements_always_pass(self):
+        current = {"w": record(makespan_s=45.0, network_bytes=5_000,
+                               tasks=32, wall_clock_s=0.01)}
+        assert compare_records(current, HISTORY).ok
+
+    def test_per_workload_overrides_win(self):
+        current = {"w": record(makespan_s=108.0)}
+        result = compare_records(
+            current, HISTORY, per_workload={"w": {"makespan_s": 0.5}})
+        assert result.ok
+        # and the override only applies to that workload's metric
+        result = compare_records(
+            current, HISTORY, per_workload={"w": {"network_bytes": 0.5}})
+        assert not result.ok
+
+    def test_global_tolerance_override(self):
+        current = {"w": record(makespan_s=108.0)}
+        assert compare_records(current, HISTORY,
+                               tolerances={"makespan_s": 0.25}).ok
+
+    def test_missing_baseline_is_note_not_failure(self):
+        result = compare_records({"brand_new": record()}, HISTORY)
+        assert result.ok
+        assert result.missing == ["brand_new"]
+        assert "no committed baseline" in result.render()
+
+    def test_zero_baseline_guarded_by_absolute_floor(self):
+        history = [doc("PR3", w=record(messages_shipped=0))]
+        # zero -> zero passes even at zero tolerance...
+        assert compare_records({"w": record(messages_shipped=0)},
+                               history).ok
+        # ...but zero -> nonzero is a regression
+        result = compare_records({"w": record(messages_shipped=5)},
+                                 history)
+        assert [f.metric for f in result.regressions] == [
+            "messages_shipped"]
+
+    def test_gate_alias(self):
+        assert gate({"w": record(makespan_s=90.0)}, HISTORY).ok
+
+
+class TestTrajectory:
+    def write_history(self, root):
+        for pr, rec in (("PR3", record()),
+                        ("PR10", record(makespan_s=50.0))):
+            path = root / f"BENCH_{pr}.json"
+            path.write_text(json.dumps(doc(pr, w=rec)))
+
+    def test_load_history_numeric_order(self, tmp_path):
+        # PR10 must sort after PR3 (numeric, not lexicographic)
+        self.write_history(tmp_path)
+        history = load_history(tmp_path)
+        assert [d["pr"] for d in history] == ["PR3", "PR10"]
+        assert latest_baselines(history)["w"][0] == "PR10"
+
+    def test_load_history_rejects_invalid_baseline(self, tmp_path):
+        (tmp_path / "BENCH_PR2.json").write_text(
+            json.dumps({"schema": "other/v9", "pr": "PR2",
+                        "workloads": {"w": record()}}))
+        with pytest.raises(BenchRunError) as exc:
+            load_history(tmp_path)
+        assert "invalid" in str(exc.value)
+
+    def test_load_history_ignores_non_bench_files(self, tmp_path):
+        self.write_history(tmp_path)
+        (tmp_path / "BENCH_PRx.json").write_text("not json")
+        assert len(load_history(tmp_path)) == 2
+
+    def test_workload_series_appends_current(self):
+        series = workload_series(HISTORY, {"w": record()},
+                                 current_label="now")
+        assert [pr for pr, _ in series["w"]] == ["PR3", "PR5", "now"]
+
+    def test_render_markdown(self, tmp_path):
+        self.write_history(tmp_path)
+        history = load_history(tmp_path)
+        current = {"w": record(makespan_s=50.0)}
+        result = compare_records(current, history)
+        text = render_markdown(history, current, gate_result=result)
+        assert "## w" in text
+        assert "| PR3 |" in text and "| current |" in text
+        assert "(=)" in text            # unchanged vs previous row
+        assert "-50.0%" in text         # PR3 -> PR10 improvement
+        assert "gate: PASS" in text
+
+    def test_render_markdown_fail_verdict(self, tmp_path):
+        self.write_history(tmp_path)
+        history = load_history(tmp_path)
+        current = {"w": record(makespan_s=80.0)}   # +60% vs PR10
+        result = compare_records(current, history)
+        text = render_markdown(history, current, gate_result=result)
+        assert "gate: FAIL" in text
+
+    def test_render_html_self_contained(self, tmp_path):
+        self.write_history(tmp_path)
+        history = load_history(tmp_path)
+        current = {"w": record(makespan_s=50.0)}
+        result = compare_records(current, history)
+        page = render_html(history, current, gate_result=result)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<style>" in page        # no external assets
+        assert "class=\"pass\"" in page
+        assert "<h2>w</h2>" in page
+
+    def test_empty_history_renders(self):
+        text = render_markdown([], {"w": record()})
+        assert "(no committed baselines)" in text

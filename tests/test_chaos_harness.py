@@ -179,6 +179,23 @@ class TestChaosSweeps:
                 if o.status == "identical"
             )
 
+    def test_per_job_wall_clocks_recorded(self, chaos_graph):
+        report = run_chaos_sweep(
+            make_factory(chaos_graph, replication=1),
+            prop_runner(NetworkRankingPropagation, 4),
+            schedules=18, seed=101,
+        )
+        assert report.ok, report.summary()
+        # every job gets its own wall clock — the whole-sweep wall used
+        # to be stamped on baseline and restarted records alike
+        assert report.baseline_wall_s > 0.0
+        assert all(o.wall_s > 0.0 for o in report.outcomes)
+        assert report.restarted_job is not None
+        assert report.restarted_wall_s > 0.0
+        assert report.restarted_wall_s != report.baseline_wall_s
+        assert report.restarted_wall_s in {
+            o.wall_s for o in report.outcomes}
+
     def test_without_checkpoint_losses_are_clean_failures(self,
                                                           chaos_graph):
         def run_job(surfer, plan):

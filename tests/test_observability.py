@@ -369,6 +369,47 @@ class TestBenchJson:
         with pytest.raises(ValueError):
             write_bench_json(tmp_path / "bad.json", {"w": {"nope": 1}})
 
+    def test_validate_rejects_bools(self, nr_job):
+        # bool is an int subclass; True must not pass as a measurement
+        rec = job_record(nr_job, 0.1)
+        boolish = dict(rec, tasks=True)
+        errors = validate_bench_json({"schema": SCHEMA, "pr": "PR3",
+                                      "workloads": {"w": boolish}})
+        assert any("tasks" in e and "not a number" in e for e in errors)
+
+    def test_messages_shipped_follows_the_engine(self, nr_job):
+        # propagation job: the propagation counter, and it is live
+        rec = job_record(nr_job, 0.1)
+        registry = nr_job.events.metrics
+        assert rec["messages_shipped"] == int(
+            registry.get("propagation.messages_shipped"))
+        assert rec["messages_shipped"] > 0
+
+        # MapReduce job: the same registry family canonically registers
+        # propagation.messages_shipped at 0, which used to mask the
+        # fallback to mapreduce.map_records — the record must carry the
+        # MR counter instead
+        surfer = small_surfer()
+        __, mr_cls, __ = APP_REGISTRY["NR"]
+        mr_job = surfer.run_mapreduce(mr_cls(), rounds=2)
+        mr_registry = mr_job.events.metrics
+        assert mr_registry.get("propagation.messages_shipped") == 0
+        mr_rec = job_record(mr_job, 0.1)
+        assert mr_rec["messages_shipped"] == int(
+            mr_registry.get("mapreduce.map_records"))
+        assert mr_rec["messages_shipped"] > 0
+
+    def test_messages_shipped_synthetic_registry_fallback(self, nr_job):
+        # no engine marker at all (synthetic registries): old behaviour
+        class FakeJob:
+            metrics = nr_job.metrics
+
+            class events:
+                metrics = MetricsRegistry()
+
+        FakeJob.events.metrics.add("mapreduce.map_records", 42)
+        assert job_record(FakeJob, 0.1)["messages_shipped"] == 42
+
 
 # ----------------------------------------------------------------------
 # The None-transfer cost contract (scalar vs vectorized Transfer)
