@@ -62,7 +62,7 @@ __all__ = [
 UDF_METHOD_NAMES = frozenset({
     "select", "select_array", "transfer", "transfer_array",
     "virtual_transfer", "virtual_combine", "combine", "merge",
-    "map", "map_array", "reduce", "reduce_array",
+    "frontier", "map", "map_array", "reduce", "reduce_array",
 })
 _APP_BASES = frozenset({"PropagationApp", "MapReduceApp"})
 _IO_CALLS = frozenset({"open", "input", "print", "exec", "eval",
@@ -297,6 +297,46 @@ def _rotate(values: list[Any]) -> list[Any]:
     return values[1:] + values[:1]
 
 
+def _check_frontier_contract(cls: type, app: Any, state: Any,
+                             pgraph: Any, path: str,
+                             line: int) -> list[Finding]:
+    """The frontier API contract: ``frontier()`` is a bool mask over all
+    vertices that agrees with per-vertex ``select`` (and ``select_array``
+    where overridden) — the engine's sparse mode routes exactly the
+    message set the dense mode would, so any disagreement silently
+    changes results between modes."""
+    from repro.propagation.api import PropagationApp
+
+    findings: list[Finding] = []
+
+    def fail(what: str) -> None:
+        findings.append(Finding(
+            "UDF002", path, line, f"{cls.__name__}: {what}"))
+
+    try:
+        mask = np.asarray(app.frontier(state))
+        if mask.dtype != np.bool_ or mask.shape != (pgraph.num_vertices,):
+            fail("frontier() must return a bool mask of shape "
+                 f"(num_vertices,); got dtype {mask.dtype}, "
+                 f"shape {mask.shape}")
+            return findings
+        for u in range(pgraph.num_vertices):
+            if bool(app.select(int(u), state)) != bool(mask[u]):
+                fail(f"frontier() disagrees with select() at vertex {u}; "
+                     "frontier and dense mode would route different "
+                     "message sets")
+                break
+        if cls.select_array is not PropagationApp.select_array:
+            verts = np.arange(pgraph.num_vertices, dtype=np.int64)
+            got = np.asarray(app.select_array(verts, state))
+            if not np.array_equal(got.astype(bool), mask):
+                fail("frontier() disagrees with select_array() over the "
+                     "full vertex range")
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
+        fail(f"frontier contract check raised ({exc!r})")
+    return findings
+
+
 def verify_propagation_app(cls: type, pgraph: Any = None) -> list[Finding]:
     """UDF002 checks for one ``PropagationApp`` subclass.
 
@@ -328,20 +368,41 @@ def verify_propagation_app(cls: type, pgraph: Any = None) -> list[Finding]:
             def combine(k: Any, vals: list[Any]) -> Any:
                 return app.virtual_combine(k, vals, state)
         else:
-            for p in range(pgraph.num_parts):
-                src, dst = pgraph.partition_edges(p)
-                for u, v in zip(src.tolist(), dst.tolist()):
-                    if not app.select(int(u), state):
-                        continue
-                    val = app.transfer(int(u), int(v), state)
-                    if val is not None:
-                        groups.setdefault(int(v), []).append(val)
+            def harvest() -> dict[Any, list[Any]]:
+                out: dict[Any, list[Any]] = {}
+                for p in range(pgraph.num_parts):
+                    src, dst = pgraph.partition_edges(p)
+                    for u, v in zip(src.tolist(), dst.tolist()):
+                        if not app.select(int(u), state):
+                            continue
+                        val = app.transfer(int(u), int(v), state)
+                        if val is not None:
+                            out.setdefault(int(v), []).append(val)
+                return out
+
+            groups = harvest()
+            if getattr(cls, "uses_frontier", False):
+                # frontier apps may start with a near-empty active set
+                # (BFS: one source), so the first round rarely yields a
+                # multi-value bag — advance real rounds through the
+                # app's own combine/update until one appears
+                for _ in range(6):
+                    if _rich_groups(groups):
+                        break
+                    combined = {v: app.combine(int(v), list(bag), state)
+                                for v, bag in sorted(groups.items())}
+                    app.update(state, combined)
+                    groups = harvest()
 
             def combine(k: Any, vals: list[Any]) -> Any:
                 return app.combine(k, vals, state)
     except Exception as exc:  # noqa: BLE001 - report, don't crash the gate
         fail(f"contract harness failed to harvest payloads ({exc!r})")
         return findings
+
+    if getattr(cls, "uses_frontier", False):
+        findings.extend(_check_frontier_contract(cls, app, state, pgraph,
+                                                 path, line))
 
     rich = _rich_groups(groups)
     if not rich:
@@ -525,6 +586,7 @@ def verify_registered_apps(
 PARITY_SUITES: tuple[str, ...] = (
     "tests/test_transfer_fastpath.py",
     "tests/test_mr_fastpath.py",
+    "tests/test_frontier_traversal.py",
 )
 
 

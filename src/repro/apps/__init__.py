@@ -43,6 +43,15 @@ from repro.apps.diameter import (
     fm_estimate,
     neighborhood_function_exact,
 )
+from repro.apps.traversal import (
+    BreadthFirstSearchPropagation,
+    DeltaPageRankPropagation,
+    KCoreDecompositionPropagation,
+    ShortestPathsPropagation,
+    edge_weight,
+    edge_weight_array,
+    h_index,
+)
 
 #: name -> (propagation app class, mapreduce app class, default iterations)
 APP_REGISTRY = {
@@ -60,6 +69,11 @@ APP_ORDER = ("VDD", "RS", "NR", "RLG", "TC", "TFL")
 EXTENSION_APPS = {
     "CC": (ConnectedComponentsPropagation, ConnectedComponentsMapReduce),
     "DIAM": (DiameterEstimationPropagation, None),
+    # traversal suite (frontier-capable, propagation only)
+    "BFS": (BreadthFirstSearchPropagation, None),
+    "SSSP": (ShortestPathsPropagation, None),
+    "KCORE": (KCoreDecompositionPropagation, None),
+    "DPR": (DeltaPageRankPropagation, None),
 }
 
 __all__ = [
@@ -90,4 +104,11 @@ __all__ = [
     "effective_diameter",
     "fm_estimate",
     "neighborhood_function_exact",
+    "BreadthFirstSearchPropagation",
+    "ShortestPathsPropagation",
+    "KCoreDecompositionPropagation",
+    "DeltaPageRankPropagation",
+    "edge_weight",
+    "edge_weight_array",
+    "h_index",
 ]

@@ -158,13 +158,23 @@ def timed_min_of_n(run: Callable[[], Any], n: int = 1) -> tuple[Any, float]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class GraphSpec:
-    """``[graph]``: composite social graph generator parameters."""
+    """``[graph]``: graph generator parameters.
+
+    ``kind = "social"`` (default) is the paper's composite social graph
+    (``communities``/``community_size``/``k``/``p_r``); ``kind = "web"``
+    is :func:`~repro.graph.generators.web_feeder_graph` (``core``/
+    ``feeders``), the no-inlink-feeder shape the sparse-frontier
+    benchmarks use.
+    """
 
     communities: int = STANDARD_COMMUNITIES
     community_size: int = STANDARD_COMMUNITY_SIZE
     k: int = STANDARD_K
     p_r: float = 0.05
     seed: int = 2010
+    kind: str = "social"
+    core: int = 32
+    feeders: int = 480
 
 
 @dataclass(frozen=True)
@@ -190,6 +200,10 @@ class WorkloadSpec:
     vectorized: bool | None = None
     local_opts: bool = True
     combiner: bool = False
+    #: sparse active-set Transfer (propagation engine, frontier apps)
+    frontier: bool = False
+    #: stop at the app's convergence test instead of the full budget
+    until_convergence: bool = False
     app_args: dict[str, Any] = field(default_factory=dict)
     #: per-workload cluster-size override (fig11-style sweeps)
     machines: int | None = None
@@ -248,13 +262,15 @@ class ExperimentConfig:
 # Parsing + validation
 # ----------------------------------------------------------------------
 _EXPERIMENT_KEYS = {"name", "description", "suites", "kind"}
-_GRAPH_KEYS = {"communities", "community_size", "k", "p_r", "seed"}
+_GRAPH_KEYS = {"communities", "community_size", "k", "p_r", "seed",
+               "kind", "core", "feeders"}
 _CLUSTER_KEYS = {"topology", "machines", "parts", "layout",
                  "replication", "seed"}
 _SAMPLING_KEYS = {"repetitions"}
 _WORKLOAD_KEYS = {"name", "app", "engine", "iterations", "vectorized",
                   "local_opts", "combiner", "app_args", "machines",
-                  "parts", "scale_graph_by_machines", "suites"}
+                  "parts", "scale_graph_by_machines", "suites",
+                  "frontier", "until_convergence"}
 _CHAOS_KEYS = {"app", "engine", "iterations", "schedules", "seed",
                "checkpoint_interval", "max_restarts", "prefix"}
 _TOP_KEYS = {"experiment", "graph", "cluster", "sampling", "tolerances",
@@ -337,9 +353,13 @@ def _parse_workload(table: Any, index: int, suites: tuple[str, ...],
     if vectorized is not None and not isinstance(vectorized, bool):
         errors.append(f"{where} ({name}): vectorized must be a bool")
         vectorized = None
-    for flag in ("local_opts", "combiner", "scale_graph_by_machines"):
+    for flag in ("local_opts", "combiner", "scale_graph_by_machines",
+                 "frontier", "until_convergence"):
         if flag in table and not isinstance(table[flag], bool):
             errors.append(f"{where} ({name}): {flag} must be a bool")
+    if table.get("frontier") is True and engine != "propagation":
+        errors.append(f"{where} ({name}): frontier = true requires "
+                      f"the propagation engine")
     app_args = table.get("app_args", {})
     if not isinstance(app_args, dict):
         errors.append(f"{where} ({name}): app_args must be a table")
@@ -367,6 +387,8 @@ def _parse_workload(table: Any, index: int, suites: tuple[str, ...],
         vectorized=vectorized,
         local_opts=bool(table.get("local_opts", True)),
         combiner=bool(table.get("combiner", False)),
+        frontier=bool(table.get("frontier", False)),
+        until_convergence=bool(table.get("until_convergence", False)),
         app_args=dict(app_args),
         machines=machines,
         parts=parts,
@@ -430,7 +452,15 @@ def parse_config(doc: dict, source: str = "<memory>") -> ExperimentConfig:
         errors.append(f"[graph]: p_r must be a number in [0, 1], "
                       f"got {p_r!r}")
         p_r = 0.05
+    graph_kind = graph_tbl.get("kind", "social")
+    if graph_kind not in ("social", "web"):
+        errors.append(f"[graph]: kind must be \"social\" or \"web\", "
+                      f"got {graph_kind!r}")
+        graph_kind = "social"
     graph = GraphSpec(
+        kind=str(graph_kind),
+        core=_pos_int(graph_tbl, "core", 32, "[graph]", errors),
+        feeders=_pos_int(graph_tbl, "feeders", 480, "[graph]", errors),
         communities=_pos_int(graph_tbl, "communities",
                              STANDARD_COMMUNITIES, "[graph]", errors),
         community_size=_pos_int(graph_tbl, "community_size",
@@ -613,8 +643,17 @@ def select_suite(
 def _build_graph(spec: GraphSpec, scale: float = 1.0):
     """The experiment graph; the standard recipe goes through the
     memoized :func:`standard_graph` so bisection caches are shared."""
-    from repro.graph.generators import composite_social_graph
+    from repro.graph.generators import (
+        composite_social_graph,
+        web_feeder_graph,
+    )
 
+    if spec.kind == "web":
+        return web_feeder_graph(
+            core=spec.core,
+            feeders=max(0, int(spec.feeders * scale)),
+            seed=spec.seed,
+        )
     recipe = (spec.communities, spec.community_size, spec.k, spec.p_r)
     if recipe == _STANDARD_RECIPE:
         return standard_graph(seed=spec.seed, scale=scale)
@@ -697,10 +736,12 @@ def _run_jobs_experiment(
                 return surfer.run_mapreduce(
                     app, rounds=iterations, vectorized=wl.vectorized,
                     combiner=wl.combiner,
+                    until_convergence=wl.until_convergence,
                 )
             return surfer.run_propagation(
                 app, iterations=iterations, local_opts=wl.local_opts,
-                vectorized=wl.vectorized,
+                vectorized=wl.vectorized, frontier=wl.frontier,
+                until_convergence=wl.until_convergence,
             )
 
         job, wall = timed_min_of_n(run, repetitions)

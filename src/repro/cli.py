@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.apps import APP_ORDER
+from repro.apps import APP_ORDER, EXTENSION_APPS
 
 _TOPOLOGIES = ("T1", "T2(2,1)", "T2(4,1)", "T2(4,2)", "T3")
 _EXPERIMENTS = (
@@ -45,9 +45,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_job_options(p) -> None:
-        p.add_argument("app", choices=list(APP_ORDER) + ["CC", "DIAM"])
+        p.add_argument("app",
+                       choices=list(APP_ORDER) + list(EXTENSION_APPS))
         p.add_argument("--engine", choices=("propagation", "mapreduce"),
                        default="propagation")
+        p.add_argument("--frontier", action="store_true",
+                       help="sparse active-set propagation: Transfer "
+                            "scans only frontier vertices "
+                            "(propagation engine, frontier apps only)")
         p.add_argument("--topology", choices=_TOPOLOGIES, default="T1")
         p.add_argument("--layout",
                        choices=("bandwidth-aware", "oblivious"),
@@ -97,9 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seeded randomized fault-schedule sweep with "
              "checkpoint/restore (recovery invariant check)",
     )
-    chaos.add_argument("app", choices=list(APP_ORDER) + ["CC", "DIAM"])
+    chaos.add_argument("app",
+                       choices=list(APP_ORDER) + list(EXTENSION_APPS))
     chaos.add_argument("--engine", choices=("propagation", "mapreduce"),
                        default="propagation")
+    chaos.add_argument("--frontier", action="store_true",
+                       help="sparse active-set propagation "
+                            "(propagation engine, frontier apps only)")
     chaos.add_argument("--topology", choices=_TOPOLOGIES, default="T1")
     chaos.add_argument("--layout",
                        choices=("bandwidth-aware", "oblivious"),
@@ -244,7 +253,7 @@ def _deploy_and_run(args):
     from repro.runtime.checkpoint import CheckpointPolicy
     from repro.runtime.events import wall_timer
 
-    symmetrize = args.app in ("CC", "DIAM")
+    symmetrize = args.app in ("CC", "DIAM", "KCORE")
     graph = _make_graph(args, symmetrize=symmetrize)
     cluster = make_cluster(_make_topology(args.topology, args.machines))
     surfer = Surfer(graph, cluster, num_parts=args.parts,
@@ -273,6 +282,10 @@ def _deploy_and_run(args):
             print(f"{args.app} has no MapReduce implementation",
                   file=sys.stderr)
             return None, 0.0
+        if args.frontier:
+            print("--frontier requires the propagation engine",
+                  file=sys.stderr)
+            return None, 0.0
         job = surfer.run_mapreduce(mr_cls(), rounds=iterations,
                                    until_convergence=until,
                                    fault_plan=fault_plan,
@@ -284,6 +297,7 @@ def _deploy_and_run(args):
             until_convergence=until,
             fault_plan=fault_plan,
             checkpoint=policy,
+            frontier=args.frontier,
         )
     return job, timer.elapsed()
 
@@ -375,7 +389,7 @@ def _cmd_chaos(args) -> int:
     from repro.runtime.checkpoint import CheckpointPolicy
     from repro.runtime.events import wall_timer
 
-    symmetrize = args.app in ("CC", "DIAM")
+    symmetrize = args.app in ("CC", "DIAM", "KCORE")
     graph = _make_graph(args, symmetrize=symmetrize)
     if args.app in APP_REGISTRY:
         prop_cls, mr_cls, default_iters = APP_REGISTRY[args.app]
@@ -387,6 +401,10 @@ def _cmd_chaos(args) -> int:
         until = True
     if args.engine == "mapreduce" and mr_cls is None:
         print(f"{args.app} has no MapReduce implementation",
+              file=sys.stderr)
+        return 2
+    if args.engine == "mapreduce" and args.frontier:
+        print("--frontier requires the propagation engine",
               file=sys.stderr)
         return 2
     policy = CheckpointPolicy(interval=args.checkpoint_interval,
@@ -408,6 +426,7 @@ def _cmd_chaos(args) -> int:
         return surfer.run_propagation(
             prop_cls(), iterations=iterations, until_convergence=until,
             fault_plan=plan, checkpoint=ckpt,
+            frontier=args.frontier,
         )
 
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges"

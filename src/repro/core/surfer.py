@@ -195,6 +195,7 @@ class Surfer:
         speculation: bool = False,
         vectorized: bool | None = None,
         checkpoint: CheckpointPolicy | None = None,
+        frontier: bool = False,
     ) -> JobResult:
         """Run ``iterations`` of propagation; returns the app's result.
 
@@ -213,7 +214,12 @@ class Surfer:
         snapshots the state every ``interval`` supersteps and restarts
         the job from the latest committed checkpoint on data loss,
         instead of failing — results stay bit-identical to a fault-free
-        run.
+        run.  ``frontier=True`` (apps with ``uses_frontier``) runs each
+        iteration over the app's sparse active set: same messages, same
+        results and same ``propagation.*`` counters as the dense run,
+        but transfer reads shrink to the frontier slice (with top-down/
+        bottom-up direction switching) and per-partition frontier
+        summaries are exchanged over the network.
         """
         if iterations < 1:
             raise JobError("iterations must be >= 1")
@@ -222,6 +228,17 @@ class Surfer:
             raise JobError(
                 f"{app.name}: until_convergence needs a converged() hook"
             )
+        if frontier:
+            if cascaded:
+                raise JobError(
+                    "frontier mode is incompatible with cascaded "
+                    "propagation (cascading models dense value I/O)"
+                )
+            if not getattr(app, "uses_frontier", False):
+                raise JobError(
+                    f"{app.name}: frontier=True requires a frontier app "
+                    "(uses_frontier=True with a frontier() hook)"
+                )
         self.cluster.reset()
         events = self._event_stream()
         scheduler = StageScheduler(self.cluster, fault_plan, self.store,
@@ -240,6 +257,7 @@ class Surfer:
                 self.pgraph, self.store, self.cluster,
                 local_opts=local_opts, values_io_fraction=fractions,
                 assignment=self.assignment, vectorized=vectorized,
+                frontier=frontier,
             )
 
         def run_step(engine: PropagationEngine, state: Any

@@ -8,7 +8,9 @@ against (e.g. single-machine PageRank vs. propagation-based NR).
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
+from typing import Callable
 
 import numpy as np
 
@@ -24,6 +26,8 @@ __all__ = [
     "degree_histogram",
     "count_triangles",
     "two_hop_neighbors",
+    "dijkstra",
+    "core_numbers",
 ]
 
 
@@ -197,6 +201,61 @@ def count_triangles(graph: Graph) -> int:
             common = neighbor_sets[v] & neighbor_sets[u]
             total += sum(1 for w in common if w > u)
     return total
+
+
+def dijkstra(
+    graph: Graph, source: int,
+    weight: Callable[[int, int], int],
+) -> np.ndarray:
+    """Single-source shortest path distances (the SSSP oracle).
+
+    ``weight(u, v)`` must return a positive integer edge weight.
+    Unreachable vertices get ``-1``, matching :func:`bfs_levels`.
+    """
+    if not 0 <= source < graph.num_vertices:
+        raise GraphError("dijkstra source out of range")
+    dist = -np.ones(graph.num_vertices, dtype=np.int64)
+    heap: list[tuple[int, int]] = [(0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if dist[u] >= 0:
+            continue  # already settled with a shorter distance
+        dist[u] = d
+        for v in graph.out_neighbors(u):
+            v = int(v)
+            if dist[v] < 0:
+                heapq.heappush(heap, (d + int(weight(u, v)), v))
+    return dist
+
+
+def core_numbers(graph: Graph) -> np.ndarray:
+    """Coreness of every vertex by peeling (the KCORE oracle).
+
+    Undirected semantics: run on a symmetrized graph, where
+    ``out_degrees`` is the undirected degree.  Batagelj–Zaveršnik
+    peeling with a lazy heap: repeatedly remove a minimum-degree vertex;
+    its coreness is the largest minimum seen so far.
+    """
+    n = graph.num_vertices
+    cur = graph.out_degrees().astype(np.int64).copy()
+    core = np.zeros(n, dtype=np.int64)
+    heap = [(int(cur[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    done = np.zeros(n, dtype=bool)
+    k = 0
+    while heap:
+        d, v = heapq.heappop(heap)
+        if done[v] or d != cur[v]:
+            continue  # stale lazy-heap entry
+        done[v] = True
+        k = max(k, d)
+        core[v] = k
+        for u in graph.out_neighbors(v):
+            u = int(u)
+            if not done[u] and cur[u] > d:
+                cur[u] -= 1
+                heapq.heappush(heap, (int(cur[u]), u))
+    return core
 
 
 def two_hop_neighbors(graph: Graph, vertex: int) -> set[int]:

@@ -34,6 +34,7 @@ __all__ = [
     "ring",
     "grid",
     "star",
+    "web_feeder_graph",
 ]
 
 
@@ -240,6 +241,44 @@ def grid(rows: int, cols: int) -> Graph:
         pairs.append(fwd[:, ::-1])
     edges = np.concatenate(pairs) if pairs else np.zeros((0, 2), dtype=np.int64)
     return Graph.from_edges(edges, num_vertices=rows * cols, dedup=True)
+
+
+def web_feeder_graph(
+    core: int,
+    feeders: int,
+    chords_per_vertex: int = 3,
+    feeder_degree: int = 2,
+    seed: int | np.random.Generator = 0,
+) -> Graph:
+    """A web-crawl-like graph: a linked core plus no-inlink feeders.
+
+    Vertices ``0..core-1`` form a strongly connected core (a ring plus
+    ``chords_per_vertex`` random chords each); vertices ``core..`` are
+    *feeders* with ``feeder_degree`` out-edges into the core and **no
+    in-edges** — the "freshly crawled page nobody links to yet" shape.
+    Under delta-based propagation the feeders fall out of the frontier
+    after one iteration, so the convergent tail touches only the core:
+    the workload the sparse-frontier benchmarks exercise.
+    """
+    if core <= 0 or feeders < 0:
+        raise GraphError("core must be positive and feeders non-negative")
+    rng = as_generator(seed)
+    n = core + feeders
+    ring_src = np.arange(core, dtype=np.int64)
+    ring_dst = (ring_src + 1) % core
+    chord_src = np.repeat(ring_src, chords_per_vertex)
+    chord_dst = rng.integers(0, core, size=chord_src.size)
+    feeder_src = np.repeat(np.arange(core, n, dtype=np.int64),
+                           feeder_degree)
+    feeder_dst = rng.integers(0, core, size=feeder_src.size)
+    src = np.concatenate([ring_src, chord_src, feeder_src])
+    dst = np.concatenate([ring_dst, chord_dst, feeder_dst])
+    return Graph.from_edges(
+        np.stack([src, dst], axis=1),
+        num_vertices=n,
+        dedup=True,
+        drop_self_loops=True,
+    )
 
 
 def star(num_leaves: int, out: bool = True) -> Graph:

@@ -50,6 +50,11 @@ class PropagationApp:
     combine_all_vertices = False
     #: app emits to virtual vertices instead of along edges.
     uses_virtual_vertices = False
+    #: app maintains a sparse active set: ``frontier(state)`` returns the
+    #: boolean active mask (``select`` must agree with it), enabling the
+    #: engine's frontier mode — frontier-sliced Transfer reads, top-down/
+    #: bottom-up direction switching, per-partition frontier exchange.
+    uses_frontier = False
     #: NumPy ufunc equivalent of ``merge`` (e.g. ``np.add``) — required
     #: for the vectorized Transfer fast path of associative apps.
     merge_ufunc = None
@@ -85,6 +90,19 @@ class PropagationApp:
     def select(self, u: int, state: Any) -> bool:
         """Whether vertex ``u`` participates in the Transfer stage."""
         return True
+
+    def frontier(self, state: Any) -> np.ndarray:
+        """Boolean active mask over *all* vertices (frontier apps only).
+
+        Apps with ``uses_frontier = True`` must implement this.  The
+        engine's frontier mode scans exactly the masked vertices instead
+        of calling ``select`` per vertex, so the mask must satisfy
+        ``bool(mask[u]) == select(u, state)`` for every vertex — the
+        UDF002 frontier contract checks the agreement.  The mask is read
+        at the start of each iteration; ``update()`` computes the next
+        one.
+        """
+        raise JobError(f"{self.name}: frontier() not implemented")
 
     def transfer(self, u: int, v: int, state: Any) -> Any:
         """Value exported from ``u`` to its out-neighbor ``v`` (or None)."""

@@ -41,6 +41,12 @@ class CascadeInfo:
     before external information can reach it: 0 for entry-boundary
     vertices, ``k`` for members of ``V_k``, and ``-1`` (infinity) for
     ``V_inf``.
+
+    ``partition_diameters[p]`` uses the same sentinel: ``-1`` marks a
+    partition that no external information ever enters (no entry
+    vertices — its vertices are all ``V_inf``) or that is empty.  Such a
+    partition imposes no bound on the cascaded phase length, exactly as
+    its vertices are unboundedly cascadable in the depth array.
     """
 
     depth: np.ndarray
@@ -61,7 +67,15 @@ class CascadeInfo:
 
     @property
     def d_min(self) -> int:
-        """Smallest partition diameter: the cascaded phase length."""
+        """Smallest partition diameter: the cascaded phase length.
+
+        Partitions that external information never enters carry the
+        ``-1`` sentinel and are excluded — they cannot bound the phase
+        (their vertices are ``V_inf``, mirroring ``depth < 0`` in
+        :meth:`v_k_mask`).  Degenerate ``0`` estimates (single-vertex
+        partitions) are excluded for the same reason: a phase length of
+        zero is meaningless.
+        """
         finite = [d for d in self.partition_diameters if d > 0]
         return min(finite) if finite else 1
 
@@ -113,9 +127,21 @@ def compute_cascade_info(pgraph: PartitionedGraph) -> CascadeInfo:
     reached = dist >= 0
     depth[reached] = dist[reached]
 
+    # Partitions without entry vertices are all-V_inf: external
+    # information never reaches them, so their internal diameter must
+    # not cap d_min (a tiny isolated island would otherwise destroy
+    # cascading for every other partition while its own vertices are
+    # treated as infinitely cascadable — inconsistent semantics).
+    has_entries = np.zeros(pgraph.num_parts, dtype=bool)
+    if entries.size:
+        has_entries[parts[entries]] = True
     diameters = []
     for p in range(pgraph.num_parts):
-        sub, _ = graph.subgraph(pgraph.partition_vertices[p])
+        verts = pgraph.partition_vertices[p]
+        if verts.size == 0 or not has_entries[p]:
+            diameters.append(-1)
+            continue
+        sub, _ = graph.subgraph(verts)
         diameters.append(estimate_diameter(sub, num_probes=2, seed=p))
     return CascadeInfo(depth=depth, partition_diameters=diameters)
 
@@ -129,13 +155,16 @@ def cascade_io_fractions(
     ``V_inf``) needs no intermediate value round-trips: 2 of ``c + 1``
     value touches remain (initial read, final write).  Shallower vertices
     pay full freight.  The returned fraction scales the engine's
-    per-iteration value I/O.
+    per-iteration value I/O.  Empty partitions (possible after elastic
+    resizes or chaos kills) have no values to read or write at all, so
+    their fraction is 0.
     """
     c = max(1, phase_length)
     fractions = np.ones(pgraph.num_parts)
     for p in range(pgraph.num_parts):
         verts = pgraph.partition_vertices[p]
         if verts.size == 0:
+            fractions[p] = 0.0
             continue
         depths = info.depth[verts]
         cascadable = (depths < 0) | (depths >= c)

@@ -21,6 +21,16 @@ One iteration is two barrier stages per partition:
 Without local optimizations (levels O1/O2) every message is materialized
 to disk and every cross-partition message crosses the network unmerged —
 which is exactly the traffic gap Tables 2 and 3 measure.
+
+**Frontier mode** (``frontier=True``, for apps with ``uses_frontier``)
+scans only each partition's active vertices per iteration: the Transfer
+read is priced by a top-down/bottom-up direction switch keyed on
+frontier density (Buluç–Madduri), and each partition announces its
+frontier summary (bitmap or index array, whichever is smaller) to the
+other machines through the regular send path.  Message products, cpu
+charges and all ``propagation.*`` counters stay bit-identical to the
+dense path — only the transfer-task disk reads shrink and the
+``frontier.*`` counters/exchange traffic appear.
 """
 
 from __future__ import annotations
@@ -35,7 +45,7 @@ import numpy as np
 from repro.cluster.cluster import Cluster
 from repro.cluster.storage import PartitionStore
 from repro.errors import JobError
-from repro.graph.io import VALUE_BYTES
+from repro.graph.io import DEGREE_BYTES, VALUE_BYTES, VERTEX_ID_BYTES
 from repro.hashing import stable_hash
 from repro.propagation.api import MessageBox, PropagationApp, fold_by_dest
 from repro.runtime.events import wall_timer
@@ -60,7 +70,14 @@ def virtual_partition(key: object, num_parts: int) -> int:
 
 @dataclass
 class IterationReport:
-    """Cost breakdown of one propagation iteration."""
+    """Cost breakdown of one propagation iteration.
+
+    The ``frontier_*`` fields are populated only in frontier mode: the
+    total active vertices scanned, the frontier-summary bytes exchanged
+    between machines, the per-partition top-down/bottom-up direction
+    flips relative to the previous iteration, and the number of
+    partitions scanned bottom-up.
+    """
 
     transfer_stage: StageResult
     combine_stage: StageResult
@@ -69,10 +86,38 @@ class IterationReport:
     network_bytes: float = 0.0
     spill_bytes: float = 0.0
     locally_propagated: int = 0
+    frontier_active: int = 0
+    frontier_exchange_bytes: float = 0.0
+    frontier_direction_switches: int = 0
+    frontier_bottom_up_scans: int = 0
 
     @property
     def elapsed(self) -> float:
         return self.combine_stage.end_time - self.transfer_stage.start_time
+
+
+@dataclass
+class _FrontierInfo:
+    """Frontier-mode plan for one partition in one iteration.
+
+    ``active`` holds the partition's active vertices ascending — the
+    same enumeration order as the dense path's select-filtered scan, so
+    both paths emit the identical message sequence.  ``read_bytes``
+    prices the planned scan (frontier-row gather or full sequential
+    scan) and replaces the dense transfer-task read; ``resident_bytes``
+    is the matching working set for the memory-penalty rule.
+    ``exchange_sends`` carries the frontier summary to every other
+    machine hosting partitions, priced through the regular Task send
+    path so ``reconcile()`` stays exact.
+    """
+
+    active: np.ndarray
+    direction: str
+    read_bytes: float
+    resident_bytes: float
+    summary_bytes: float
+    exchange_sends: list[tuple[int, float]]
+    switched: bool
 
 
 @dataclass
@@ -92,6 +137,14 @@ class _PartitionTransfer:
 class PropagationEngine:
     """Executes propagation iterations on a partitioned graph."""
 
+    #: Random-access multiplier for top-down frontier gathers: reading
+    #: the adjacency rows of scattered active vertices costs this factor
+    #: over a sequential scan of the same bytes.  The direction switch
+    #: compares the penalized top-down gather against one full
+    #: sequential (bottom-up) scan — the Buluç–Madduri/Beamer frontier
+    #: density criterion expressed in bytes.
+    RANDOM_GATHER_FACTOR = 4.0
+
     def __init__(
         self,
         pgraph: PartitionedGraph,
@@ -101,6 +154,7 @@ class PropagationEngine:
         values_io_fraction: np.ndarray | None = None,
         assignment: np.ndarray | None = None,
         vectorized: bool | None = None,
+        frontier: bool = False,
     ) -> None:
         """``values_io_fraction[p]`` scales the per-iteration value I/O of
         partition ``p`` (used by cascaded propagation to model skipped
@@ -110,18 +164,30 @@ class PropagationEngine:
         Transfer implementation: ``None`` takes the array fast path when
         the app supports it, ``False`` forces the scalar path (the
         equivalence oracle), ``True`` requires the fast path and raises
-        :class:`JobError` if the app cannot take it."""
+        :class:`JobError` if the app cannot take it.  ``frontier=True``
+        enables sparse active-set execution for apps with
+        ``uses_frontier = True``: each iteration scans only the app's
+        active mask, prices the Transfer read by the chosen scan
+        direction, and exchanges per-partition frontier summaries —
+        message products and all ``propagation.*`` counters stay
+        bit-identical to the dense path."""
         self.pgraph = pgraph
         self.store = store
         self.cluster = cluster
         self.local_opts = local_opts
         self.vectorized = vectorized
+        self.frontier = frontier
         if values_io_fraction is None:
             values_io_fraction = np.ones(pgraph.num_parts)
         self.values_io_fraction = values_io_fraction
         if assignment is None:
             assignment = store.placement_array()
         self.assignment = np.asarray(assignment, dtype=np.int64)
+        #: per-partition scan direction of the previous iteration
+        #: (frontier mode); reset with the engine on job restart, which
+        #: keeps the switch counter deterministic along the restart path.
+        self._directions: dict[int, str] = {}
+        self._out_degrees: np.ndarray | None = None
 
     def machine_of(self, partition: int) -> int:
         return int(self.assignment[partition])
@@ -143,11 +209,17 @@ class PropagationEngine:
         """Execute one iteration; returns (combined results, report)."""
         num_parts = self.pgraph.num_parts
         timer = wall_timer()
+        finfos = self._plan_frontier(app, state) if self.frontier else None
+
+        def finfo(p: int) -> _FrontierInfo | None:
+            return finfos[p] if finfos is not None else None
+
         transfers = [
-            self._run_transfer_udfs(app, state, p) for p in range(num_parts)
+            self._run_transfer_udfs(app, state, p, finfo(p))
+            for p in range(num_parts)
         ]
         transfer_tasks = [
-            self._transfer_task(app, p, transfers[p])
+            self._transfer_task(app, p, transfers[p], finfo(p))
             for p in range(num_parts)
         ]
         transfer_wall = timer.elapsed()
@@ -193,6 +265,15 @@ class PropagationEngine:
             spill_bytes=sum(t.spill_bytes for t in transfers),
             locally_propagated=sum(t.locally_propagated for t in transfers),
         )
+        if finfos is not None:
+            report.frontier_active = sum(
+                int(i.active.size) for i in finfos)
+            report.frontier_exchange_bytes = sum(
+                nbytes for i in finfos for _, nbytes in i.exchange_sends)
+            report.frontier_direction_switches = sum(
+                1 for i in finfos if i.switched)
+            report.frontier_bottom_up_scans = sum(
+                1 for i in finfos if i.direction == "bottom-up")
         self._observe_iteration(scheduler, report,
                                 transfer_wall + combine_wall)
         return combined, report
@@ -223,21 +304,114 @@ class PropagationEngine:
         m.add("propagation.network_bytes", report.network_bytes)
         m.add("propagation.spill_bytes", report.spill_bytes)
         m.add("propagation.locally_propagated", report.locally_propagated)
+        if self.frontier:
+            m.add("frontier.active", report.frontier_active)
+            m.add("frontier.exchange_bytes",
+                  report.frontier_exchange_bytes)
+            m.add("frontier.direction_switches",
+                  report.frontier_direction_switches)
+            m.add("frontier.bottom_up_scans",
+                  report.frontier_bottom_up_scans)
         m.add("wall.udf_seconds", udf_wall_seconds)
+
+    # ------------------------------------------------------------------
+    # Frontier mode (sparse active sets)
+    # ------------------------------------------------------------------
+    def _plan_frontier(
+        self, app: PropagationApp, state: Any
+    ) -> list[_FrontierInfo]:
+        """Per-partition frontier plan: active slice, direction, pricing.
+
+        The scan direction is chosen by comparing priced reads: top-down
+        gathers exactly the active vertices' adjacency rows and values
+        at random-access cost (``RANDOM_GATHER_FACTOR``×), bottom-up
+        scans the whole partition sequentially once.  Dense frontiers
+        therefore flip to bottom-up and sparse ones stay top-down —
+        frontier density keys the switch, in byte form.  The frontier
+        summary each partition announces to remote machines is the
+        smaller of a vertex bitmap and an index array of the active ids.
+        """
+        if not app.uses_frontier:
+            raise JobError(
+                f"{app.name}: frontier mode requires a frontier app "
+                "(uses_frontier=True with a frontier() hook)"
+            )
+        if app.uses_virtual_vertices:
+            raise JobError(
+                f"{app.name}: frontier mode does not support "
+                "virtual-vertex apps"
+            )
+        pg = self.pgraph
+        mask = np.asarray(app.frontier(state))
+        if mask.dtype != np.bool_ or mask.shape != (pg.num_vertices,):
+            raise JobError(
+                f"{app.name}: frontier() must return a boolean mask "
+                "over all vertices"
+            )
+        if self._out_degrees is None:
+            self._out_degrees = pg.graph.out_degrees()
+        deg = self._out_degrees
+        machines = sorted({self.machine_of(p)
+                           for p in range(pg.num_parts)})
+        infos: list[_FrontierInfo] = []
+        for p in range(pg.num_parts):
+            verts = pg.partition_vertices[p]
+            active = verts[mask[verts]]
+            n_p = int(verts.size)
+            m_f = int(deg[active].sum()) if active.size else 0
+            row_bytes = float(
+                active.size * (VERTEX_ID_BYTES + DEGREE_BYTES)
+                + m_f * VERTEX_ID_BYTES
+                + active.size * VALUE_BYTES
+            )
+            top_down = self.RANDOM_GATHER_FACTOR * row_bytes
+            bottom_up = float(pg.partition_bytes(p) + n_p * VALUE_BYTES)
+            if active.size and top_down >= bottom_up:
+                direction = "bottom-up"
+                read_bytes = bottom_up
+                resident = bottom_up
+            else:
+                direction = "top-down"
+                read_bytes = top_down
+                resident = row_bytes
+            prev = self._directions.get(p)
+            switched = prev is not None and prev != direction
+            self._directions[p] = direction
+            summary = float(min((n_p + 7) // 8,
+                                active.size * VERTEX_ID_BYTES))
+            mine = self.machine_of(p)
+            exchange = ([(m, summary) for m in machines if m != mine]
+                        if summary > 0 else [])
+            infos.append(_FrontierInfo(
+                active=active,
+                direction=direction,
+                read_bytes=read_bytes,
+                resident_bytes=resident,
+                summary_bytes=summary,
+                exchange_sends=exchange,
+                switched=switched,
+            ))
+        return infos
 
     # ------------------------------------------------------------------
     # Transfer stage
     # ------------------------------------------------------------------
     def _run_transfer_udfs(
-        self, app: PropagationApp, state: Any, p: int
+        self, app: PropagationApp, state: Any, p: int,
+        finfo: _FrontierInfo | None = None,
     ) -> _PartitionTransfer:
         """Run the transfer UDFs of partition ``p`` and route messages.
 
         Dispatches between the vectorized fast path (array-at-a-time CSR
-        scan; bit-identical products) and the scalar per-edge loop.
+        scan; bit-identical products) and the scalar per-edge loop.  In
+        frontier mode (``finfo`` given) both paths scan exactly the
+        planned active vertices — the mask is authoritative and must
+        agree with ``select`` (the UDF002 frontier contract), which is
+        what keeps frontier and dense runs message-for-message
+        identical.
         """
         if self._fast_path_ok(app):
-            result = self._run_transfer_vectorized(app, state, p)
+            result = self._run_transfer_vectorized(app, state, p, finfo)
             if result is not None:
                 return result
             if self.vectorized:
@@ -250,7 +424,7 @@ class PropagationEngine:
                 f"{app.name}: vectorized Transfer requested but the app "
                 "does not support the fast path"
             )
-        return self._run_transfer_scalar(app, state, p)
+        return self._run_transfer_scalar(app, state, p, finfo)
 
     def _fast_path_ok(self, app: PropagationApp) -> bool:
         """Whether the app qualifies for the array Transfer fast path."""
@@ -269,7 +443,8 @@ class PropagationEngine:
         return True
 
     def _run_transfer_vectorized(
-        self, app: PropagationApp, state: Any, p: int
+        self, app: PropagationApp, state: Any, p: int,
+        finfo: _FrontierInfo | None = None,
     ) -> _PartitionTransfer | None:
         """Array-at-a-time Transfer of partition ``p``.
 
@@ -283,12 +458,17 @@ class PropagationEngine:
         """
         pg = self.pgraph
         verts = pg.partition_vertices[p]
-        mask = app.select_array(verts, state)
-        if mask is None:  # select-all hits the cached gather
-            src, dst = pg.partition_out_edges(p)
+        if finfo is not None:
+            # the frontier plan already filtered the partition's active
+            # vertices (ascending — the dense scan's enumeration order)
+            src, dst = pg.partition_out_edges(p, finfo.active)
         else:
-            selected = verts[np.asarray(mask, dtype=bool)]
-            src, dst = pg.partition_out_edges(p, selected)
+            mask = app.select_array(verts, state)
+            if mask is None:  # select-all hits the cached gather
+                src, dst = pg.partition_out_edges(p)
+            else:
+                selected = verts[np.asarray(mask, dtype=bool)]
+                src, dst = pg.partition_out_edges(p, selected)
         values = app.transfer_array(src, dst, state)
         if values is None:
             return None
@@ -423,9 +603,17 @@ class PropagationEngine:
             box.counts[dest] = e - s
 
     def _run_transfer_scalar(
-        self, app: PropagationApp, state: Any, p: int
+        self, app: PropagationApp, state: Any, p: int,
+        finfo: _FrontierInfo | None = None,
     ) -> _PartitionTransfer:
-        """Per-edge Transfer of partition ``p`` (fallback and oracle)."""
+        """Per-edge Transfer of partition ``p`` (fallback and oracle).
+
+        In frontier mode the loop walks the planned active vertices
+        directly and skips the per-vertex ``select`` call — the dense
+        path charges nothing for that call, so as long as ``select``
+        agrees with the mask (the frontier contract) the two paths emit
+        identical messages with identical cpu charges.
+        """
         pg = self.pgraph
         result = _PartitionTransfer()
         merge = app.merge if app.is_associative else None
@@ -474,9 +662,11 @@ class PropagationEngine:
         else:
             graph = pg.graph
             parts = pg.parts
-            for u in pg.partition_vertices[p]:
+            vertex_iter = (finfo.active if finfo is not None
+                           else pg.partition_vertices[p])
+            for u in vertex_iter:
                 u = int(u)
-                if not app.select(u, state):
+                if finfo is None and not app.select(u, state):
                     continue
                 for v in graph.out_neighbors(u):
                     v = int(v)
@@ -504,7 +694,8 @@ class PropagationEngine:
         return result
 
     def _transfer_task(
-        self, app: PropagationApp, p: int, t: _PartitionTransfer
+        self, app: PropagationApp, p: int, t: _PartitionTransfer,
+        finfo: _FrontierInfo | None = None,
     ) -> Task:
         pg = self.pgraph
         machine = self.machine_of(p)
@@ -513,25 +704,35 @@ class PropagationEngine:
             nbytes = box.payload_bytes(app)
             if nbytes > 0:
                 sends.append((self.machine_of(q), nbytes))
-        # Cascaded phases evaluate the cascadable vertices' iterations in
-        # one scan of the partition: both the adjacency and the value
-        # reads of iterations inside a phase shrink by the fraction.
-        io_fraction = float(self.values_io_fraction[p])
-        values_bytes = pg.partition_size(p) * VALUE_BYTES * io_fraction
+        if finfo is None:
+            # Cascaded phases evaluate the cascadable vertices'
+            # iterations in one scan of the partition: both the
+            # adjacency and the value reads of iterations inside a
+            # phase shrink by the fraction.
+            io_fraction = float(self.values_io_fraction[p])
+            values_bytes = pg.partition_size(p) * VALUE_BYTES * io_fraction
+            disk_read = pg.partition_bytes(p) * io_fraction + values_bytes
+            resident = pg.partition_bytes(p) + values_bytes
+        else:
+            # Frontier mode (cascading is disallowed): read what the
+            # planned scan direction needs, and announce the frontier
+            # summary to every other machine — both priced through the
+            # regular task accounting so reconcile() stays exact.
+            disk_read = finfo.read_bytes
+            resident = finfo.resident_bytes
+            sends.extend(finfo.exchange_sends)
         fetches: list[tuple[int, float]] = []
         if machine not in self.store.replicas(p):
             # non-local dispatch: pull the partition from its primary
             fetches.append((self.store.primary(p),
                             float(pg.partition_bytes(p))))
-        working_set = (pg.partition_bytes(p) + values_bytes
-                       + t.spill_bytes)
+        working_set = resident + t.spill_bytes
         return Task(
             name=f"transfer[{p}]",
             machine=machine,
             kind="transfer",
             partition=p,
-            disk_read_bytes=pg.partition_bytes(p) * io_fraction
-            + values_bytes,
+            disk_read_bytes=disk_read,
             cpu_ops=t.cpu_ops,
             disk_write_bytes=t.spill_bytes + t.output_bytes,
             sends=sends,

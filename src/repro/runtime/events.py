@@ -85,6 +85,13 @@ CANONICAL_COUNTERS: dict[str, str] = {
     "propagation.network_bytes": "cross-partition payload bytes",
     "propagation.spill_bytes": "boundary spill written to local disk",
     "propagation.locally_propagated": "vertices combined in memory",
+    # -- frontier mode ---------------------------------------------------
+    "frontier.active": "active vertices scanned by frontier Transfers",
+    "frontier.exchange_bytes":
+        "frontier summary bytes announced to other machines",
+    "frontier.direction_switches":
+        "per-partition top-down/bottom-up direction flips",
+    "frontier.bottom_up_scans": "partitions scanned bottom-up",
     # -- MapReduce engine -----------------------------------------------
     "mapreduce.rounds": "MapReduce rounds run",
     "mapreduce.map_records": "records emitted by map()",

@@ -151,6 +151,20 @@ class TestTrajectory:
         assert [d["pr"] for d in history] == ["PR3", "PR10"]
         assert latest_baselines(history)["w"][0] == "PR10"
 
+    def test_pr10_baseline_supersedes_pr9(self, tmp_path):
+        # lexicographically "PR10" < "PR9"; the loader must still treat
+        # PR10 as the newer baseline or a later PR would be gated
+        # against stale numbers
+        for pr, rec in (("PR9", record()),
+                        ("PR10", record(makespan_s=60.0))):
+            path = tmp_path / f"BENCH_{pr}.json"
+            path.write_text(json.dumps(doc(pr, w=rec)))
+        history = load_history(tmp_path)
+        assert [d["pr"] for d in history] == ["PR9", "PR10"]
+        pr, base = latest_baselines(history)["w"]
+        assert pr == "PR10"
+        assert base["makespan_s"] == 60.0
+
     def test_load_history_rejects_invalid_baseline(self, tmp_path):
         (tmp_path / "BENCH_PR2.json").write_text(
             json.dumps({"schema": "other/v9", "pr": "PR2",

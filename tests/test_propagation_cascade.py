@@ -84,6 +84,59 @@ class TestIoFractions:
         assert f4[0] < f2[0]
 
 
+def chain_with_island() -> PartitionedGraph:
+    """Chain 0..5 split [0..2]/[3..5] plus an isolated ring 6-7-8 in its
+    own partition (no cross edges touch it) and an edgeless vertex 9 in
+    a fourth partition; partition 4 is empty."""
+    edges = [(i, i + 1) for i in range(5)]
+    edges += [(6, 7), (7, 8), (8, 6)]
+    g = Graph.from_edges(edges, num_vertices=10)
+    parts = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2, 3])
+    return PartitionedGraph(g, parts, 5)
+
+
+class TestIslandPartitions:
+    """Regressions: unreachable-vertex semantics must agree between
+    d_min (phase sizing) and cascade_io_fractions (I/O accounting)."""
+
+    def test_island_partition_does_not_cap_d_min(self):
+        pg = chain_with_island()
+        info = compute_cascade_info(pg)
+        # the ring island (diameter 2 internally) and the isolated
+        # vertex get the V_inf sentinel, matching their depth == -1
+        assert info.partition_diameters[2] == -1
+        assert info.partition_diameters[3] == -1
+        assert info.partition_diameters[4] == -1  # empty partition
+        assert info.v_inf_mask()[[6, 7, 8, 9]].all()
+        # d_min is set by the only partition external info enters
+        # (partition 1, internal chain 3->4->5, diameter 2) — not
+        # dragged to a degenerate value by islands
+        assert info.d_min == 2
+
+    def test_all_island_graph_falls_back_to_phase_one(self):
+        g = ring(6)
+        pg = PartitionedGraph(g, np.zeros(6, dtype=np.int64), 1)
+        info = compute_cascade_info(pg)
+        assert info.partition_diameters == [-1]
+        assert info.d_min == 1
+
+    def test_island_vertices_are_fully_cascadable_in_fractions(self):
+        pg = chain_with_island()
+        info = compute_cascade_info(pg)
+        fractions = cascade_io_fractions(pg, info, phase_length=2)
+        # V_inf partitions still pay the initial-read/final-write floor
+        assert fractions[2] == pytest.approx(2.0 / 3.0)
+        assert fractions[3] == pytest.approx(2.0 / 3.0)
+
+    def test_empty_partition_fraction_is_zero(self):
+        pg = chain_with_island()
+        info = compute_cascade_info(pg)
+        fractions = cascade_io_fractions(pg, info, phase_length=3)
+        assert fractions[4] == 0.0
+        # and every non-empty partition keeps a positive fraction
+        assert np.all(fractions[:4] > 0)
+
+
 class TestCascadedExecution:
     @pytest.fixture()
     def surfer(self, small_graph):
