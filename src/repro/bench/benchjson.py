@@ -46,8 +46,14 @@ RECORD_FIELDS = (
     "wall_clock_s",
 )
 
-__all__ = ["SCHEMA", "RECORD_FIELDS", "job_record", "write_bench_json",
-           "validate_bench_json", "load_bench_json"]
+#: optional per-record keys — present only where the runner measured
+#: them (``peak_rss_bytes``: real process peak RSS around the run, the
+#: out-of-core benchmarks' bounded-memory claim)
+OPTIONAL_RECORD_FIELDS = ("peak_rss_bytes",)
+
+__all__ = ["SCHEMA", "RECORD_FIELDS", "OPTIONAL_RECORD_FIELDS",
+           "job_record", "write_bench_json", "validate_bench_json",
+           "load_bench_json"]
 
 
 def _messages_shipped(registry) -> float:
@@ -69,15 +75,20 @@ def _messages_shipped(registry) -> float:
                         registry.get("mapreduce.map_records"))
 
 
-def job_record(job, wall_clock_s: float) -> dict:
-    """One workload record from a finished :class:`JobResult`."""
+def job_record(job, wall_clock_s: float,
+               peak_rss_bytes: int | None = None) -> dict:
+    """One workload record from a finished :class:`JobResult`.
+
+    ``peak_rss_bytes``, when the runner measured it, is recorded as an
+    optional field (see :data:`OPTIONAL_RECORD_FIELDS`).
+    """
     metrics = job.metrics
     registry = job.events.metrics if job.events is not None else None
     shipped = tasks = 0.0
     if registry is not None:
         shipped = _messages_shipped(registry)
         tasks = registry.get("scheduler.tasks_executed")
-    return {
+    record = {
         "makespan_s": round(float(metrics.response_time), 6),
         "machine_time_s": round(float(metrics.total_machine_time), 6),
         "network_bytes": int(metrics.network_bytes),
@@ -86,6 +97,9 @@ def job_record(job, wall_clock_s: float) -> dict:
         "tasks": int(tasks),
         "wall_clock_s": round(float(wall_clock_s), 6),
     }
+    if peak_rss_bytes is not None:
+        record["peak_rss_bytes"] = int(peak_rss_bytes)
+    return record
 
 
 def write_bench_json(path, workloads: dict[str, dict],
@@ -124,12 +138,13 @@ def validate_bench_json(doc) -> list[str]:
             errors.append(f"workload {name!r} is not an object")
             continue
         missing = [f for f in RECORD_FIELDS if f not in record]
-        extra = [f for f in record if f not in RECORD_FIELDS]
+        extra = [f for f in record
+                 if f not in RECORD_FIELDS and f not in OPTIONAL_RECORD_FIELDS]
         if missing:
             errors.append(f"workload {name!r} missing {missing}")
         if extra:
             errors.append(f"workload {name!r} has unknown fields {extra}")
-        for f in RECORD_FIELDS:
+        for f in RECORD_FIELDS + OPTIONAL_RECORD_FIELDS:
             value = record.get(f)
             # bool is an int subclass; True/False are not measurements
             if f in record and (isinstance(value, bool)

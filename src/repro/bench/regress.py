@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bench.benchjson import RECORD_FIELDS
+from repro.bench.benchjson import OPTIONAL_RECORD_FIELDS, RECORD_FIELDS
 
 __all__ = [
     "DEFAULT_TOLERANCES",
@@ -42,6 +42,9 @@ DEFAULT_TOLERANCES: dict[str, float] = {
     "messages_shipped": 0.0,
     "tasks": 0.0,
     "wall_clock_s": 3.0,
+    # real process memory: allocator/OS-dependent, but a 50% jump means
+    # an O(shard) bound quietly became O(graph)
+    "peak_rss_bytes": 0.5,
 }
 
 #: guard for integer-zero baselines: a regression needs to clear this
@@ -147,7 +150,12 @@ def compare_records(
             continue
         pr, baseline = baselines[name]
         overrides = (per_workload or {}).get(name, {})
-        for metric in RECORD_FIELDS:
+        for metric in RECORD_FIELDS + OPTIONAL_RECORD_FIELDS:
+            if metric in OPTIONAL_RECORD_FIELDS and (
+                    metric not in baseline or metric not in current[name]):
+                # optional metrics gate only when measured on both sides:
+                # a missing baseline value is not a zero to regress from
+                continue
             tol = overrides.get(metric, base_tol[metric])
             base_v = float(baseline.get(metric, 0.0))
             cur_v = float(current[name].get(metric, 0.0))

@@ -55,13 +55,20 @@ each with its *own* wall clock.
 
 from __future__ import annotations
 
+import contextlib
 import pathlib
+import tempfile
 import tomllib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import BenchConfigError, BenchRunError
-from repro.bench.benchjson import RECORD_FIELDS, job_record
+from repro.bench.benchjson import (
+    OPTIONAL_RECORD_FIELDS,
+    RECORD_FIELDS,
+    job_record,
+)
+from repro.bench.memory import measure_peak_rss
 from repro.bench.workloads import (
     STANDARD_COMMUNITIES,
     STANDARD_COMMUNITY_SIZE,
@@ -164,7 +171,11 @@ class GraphSpec:
     (``communities``/``community_size``/``k``/``p_r``); ``kind = "web"``
     is :func:`~repro.graph.generators.web_feeder_graph` (``core``/
     ``feeders``), the no-inlink-feeder shape the sparse-frontier
-    benchmarks use.
+    benchmarks use; ``kind = "rmat_shard"`` streams an R-MAT graph
+    (``rmat_scale``/``edge_factor``) into an on-disk shard store and
+    runs the workloads out-of-core through
+    :class:`~repro.graph.store.ShardBackedGraph` with a
+    contiguous-range plan whose partitions alias the shards.
     """
 
     communities: int = STANDARD_COMMUNITIES
@@ -175,6 +186,8 @@ class GraphSpec:
     kind: str = "social"
     core: int = 32
     feeders: int = 480
+    rmat_scale: int = 16
+    edge_factor: int = 8
 
 
 @dataclass(frozen=True)
@@ -214,6 +227,10 @@ class WorkloadSpec:
     scale_graph_by_machines: bool = False
     #: suite override; defaults to the experiment's suites
     suites: tuple[str, ...] | None = None
+    #: record real peak RSS around the run (optional bench metric)
+    measure_rss: bool = False
+    #: hard ceiling on the measured peak (bytes); breach = BenchRunError
+    max_peak_rss_bytes: float | None = None
 
 
 @dataclass(frozen=True)
@@ -263,14 +280,15 @@ class ExperimentConfig:
 # ----------------------------------------------------------------------
 _EXPERIMENT_KEYS = {"name", "description", "suites", "kind"}
 _GRAPH_KEYS = {"communities", "community_size", "k", "p_r", "seed",
-               "kind", "core", "feeders"}
+               "kind", "core", "feeders", "rmat_scale", "edge_factor"}
 _CLUSTER_KEYS = {"topology", "machines", "parts", "layout",
                  "replication", "seed"}
 _SAMPLING_KEYS = {"repetitions"}
 _WORKLOAD_KEYS = {"name", "app", "engine", "iterations", "vectorized",
                   "local_opts", "combiner", "app_args", "machines",
                   "parts", "scale_graph_by_machines", "suites",
-                  "frontier", "until_convergence"}
+                  "frontier", "until_convergence", "measure_rss",
+                  "max_peak_rss_bytes"}
 _CHAOS_KEYS = {"app", "engine", "iterations", "schedules", "seed",
                "checkpoint_interval", "max_restarts", "prefix"}
 _TOP_KEYS = {"experiment", "graph", "cluster", "sampling", "tolerances",
@@ -354,9 +372,14 @@ def _parse_workload(table: Any, index: int, suites: tuple[str, ...],
         errors.append(f"{where} ({name}): vectorized must be a bool")
         vectorized = None
     for flag in ("local_opts", "combiner", "scale_graph_by_machines",
-                 "frontier", "until_convergence"):
+                 "frontier", "until_convergence", "measure_rss"):
         if flag in table and not isinstance(table[flag], bool):
             errors.append(f"{where} ({name}): {flag} must be a bool")
+    max_rss = table.get("max_peak_rss_bytes")
+    if max_rss is not None and (not _is_num(max_rss) or max_rss <= 0):
+        errors.append(f"{where} ({name}): max_peak_rss_bytes must be a "
+                      f"positive number, got {max_rss!r}")
+        max_rss = None
     if table.get("frontier") is True and engine != "propagation":
         errors.append(f"{where} ({name}): frontier = true requires "
                       f"the propagation engine")
@@ -395,6 +418,9 @@ def _parse_workload(table: Any, index: int, suites: tuple[str, ...],
         scale_graph_by_machines=bool(
             table.get("scale_graph_by_machines", False)),
         suites=wl_suites,
+        measure_rss=bool(table.get("measure_rss", False)),
+        max_peak_rss_bytes=(float(max_rss) if max_rss is not None
+                            else None),
     )
 
 
@@ -405,10 +431,11 @@ def _parse_tolerances(table: Any, errors: list[str]) -> dict[str, float]:
         errors.append("[tolerances]: not a table")
         return {}
     out: dict[str, float] = {}
+    known = RECORD_FIELDS + OPTIONAL_RECORD_FIELDS
     for key, value in table.items():
-        if key not in RECORD_FIELDS:
+        if key not in known:
             errors.append(f"[tolerances]: unknown metric {key!r} "
-                          f"(known: {list(RECORD_FIELDS)})")
+                          f"(known: {list(known)})")
             continue
         if not _is_num(value) or value < 0:
             errors.append(f"[tolerances]: {key} must be a non-negative "
@@ -453,14 +480,18 @@ def parse_config(doc: dict, source: str = "<memory>") -> ExperimentConfig:
                       f"got {p_r!r}")
         p_r = 0.05
     graph_kind = graph_tbl.get("kind", "social")
-    if graph_kind not in ("social", "web"):
-        errors.append(f"[graph]: kind must be \"social\" or \"web\", "
-                      f"got {graph_kind!r}")
+    if graph_kind not in ("social", "web", "rmat_shard"):
+        errors.append(f"[graph]: kind must be \"social\", \"web\" or "
+                      f"\"rmat_shard\", got {graph_kind!r}")
         graph_kind = "social"
     graph = GraphSpec(
         kind=str(graph_kind),
         core=_pos_int(graph_tbl, "core", 32, "[graph]", errors),
         feeders=_pos_int(graph_tbl, "feeders", 480, "[graph]", errors),
+        rmat_scale=_pos_int(graph_tbl, "rmat_scale", 16, "[graph]",
+                            errors),
+        edge_factor=_pos_int(graph_tbl, "edge_factor", 8, "[graph]",
+                             errors),
         communities=_pos_int(graph_tbl, "communities",
                              STANDARD_COMMUNITIES, "[graph]", errors),
         community_size=_pos_int(graph_tbl, "community_size",
@@ -569,6 +600,20 @@ def parse_config(doc: dict, source: str = "<memory>") -> ExperimentConfig:
         names = [w.name for w in workloads]
         for dup in sorted({n for n in names if names.count(n) > 1}):
             errors.append(f"duplicate workload name {dup!r}")
+        if graph.kind == "rmat_shard":
+            # the shard count must equal the explicit partition count
+            # before the graph exists, so the auto rule and weak
+            # scaling have nothing to size against
+            for w in workloads:
+                if w.parts == "auto":
+                    errors.append(f"workload {w.name!r}: parts = "
+                                  f"\"auto\" is not supported with "
+                                  f"kind = \"rmat_shard\"")
+                if w.scale_graph_by_machines:
+                    errors.append(f"workload {w.name!r}: "
+                                  f"scale_graph_by_machines is not "
+                                  f"supported with kind = "
+                                  f"\"rmat_shard\"")
 
     if errors:
         raise BenchConfigError(source, errors)
@@ -666,6 +711,41 @@ def _build_graph(spec: GraphSpec, scale: float = 1.0):
     )
 
 
+def _shard_surfer(cfg: ExperimentConfig, machines: int, parts: int,
+                  store_root: pathlib.Path):
+    """An out-of-core Surfer: streamed R-MAT -> shard store -> range plan.
+
+    The store is built (or reused) under ``store_root`` with one shard
+    per partition, so the contiguous-range plan's partitions alias the
+    shards and every partition load is a zero-copy memmap view.  All of
+    this is deployment setup and stays outside the timed region.
+    """
+    from repro.core.range_plan import contiguous_range_plan
+    from repro.core.surfer import Surfer
+    from repro.graph.store import build_shard_store, open_shard_graph
+    from repro.graph.stream import stream_rmat
+
+    spec = cfg.graph
+    path = store_root / (f"rmat{spec.rmat_scale}x{spec.edge_factor}"
+                         f"_seed{spec.seed}_p{parts}")
+    if not path.exists():
+        build_shard_store(
+            stream_rmat(spec.rmat_scale, edge_factor=spec.edge_factor,
+                        seed=spec.seed),
+            path,
+            num_shards=parts,
+        )
+    graph = open_shard_graph(path)
+    cluster = make_cluster(topology_by_name(cfg.cluster.topology,
+                                            machines))
+    plan = contiguous_range_plan(
+        graph, cluster.topology, parts, seed=cfg.cluster.seed,
+        offsets=graph.store.vertex_starts,
+    )
+    return Surfer(graph, cluster, seed=cfg.cluster.seed,
+                  replication=cfg.cluster.replication, plan=plan)
+
+
 def _make_app(name: str, engine: str, app_args: dict[str, Any]):
     from repro.apps import APP_REGISTRY, EXTENSION_APPS
     from repro.bench.experiments import make_app
@@ -706,60 +786,91 @@ def _run_jobs_experiment(
 
     records: dict[str, dict] = {}
     surfers: dict[tuple, Any] = {}
-    for wl in workloads:
-        machines = wl.machines or cfg.cluster.machines
-        scale = (machines / float(cfg.cluster.machines)
-                 if wl.scale_graph_by_machines else 1.0)
-        graph = _build_graph(cfg.graph, scale)
-        if wl.parts == "auto":
-            parts = parts_for(graph, machines)
-        else:
-            parts = int(wl.parts) if wl.parts is not None \
-                else cfg.cluster.parts
-        key = (machines, parts, scale)
-        if key not in surfers:
-            workload = Workload(
-                graph=graph,
-                cluster=make_cluster(
-                    topology_by_name(cfg.cluster.topology, machines)),
-                num_parts=parts,
-                seed=cfg.cluster.seed,
-            )
-            surfers[key] = workload.surfer(cfg.cluster.layout)
-        surfer = surfers[key]
-        iterations = wl.iterations or _default_iterations(wl.app)
+    with contextlib.ExitStack() as stack:
+        store_root: pathlib.Path | None = None
+        for wl in workloads:
+            machines = wl.machines or cfg.cluster.machines
+            if cfg.graph.kind == "rmat_shard":
+                parts = int(wl.parts) if wl.parts is not None \
+                    else cfg.cluster.parts
+                key = (machines, parts, 1.0)
+                if key not in surfers:
+                    if store_root is None:
+                        store_root = pathlib.Path(stack.enter_context(
+                            tempfile.TemporaryDirectory(
+                                prefix="repro-shard-bench-")))
+                    surfers[key] = _shard_surfer(cfg, machines, parts,
+                                                 store_root)
+            else:
+                scale = (machines / float(cfg.cluster.machines)
+                         if wl.scale_graph_by_machines else 1.0)
+                graph = _build_graph(cfg.graph, scale)
+                if wl.parts == "auto":
+                    parts = parts_for(graph, machines)
+                else:
+                    parts = int(wl.parts) if wl.parts is not None \
+                        else cfg.cluster.parts
+                key = (machines, parts, scale)
+                if key not in surfers:
+                    workload = Workload(
+                        graph=graph,
+                        cluster=make_cluster(
+                            topology_by_name(cfg.cluster.topology,
+                                             machines)),
+                        num_parts=parts,
+                        seed=cfg.cluster.seed,
+                    )
+                    surfers[key] = workload.surfer(cfg.cluster.layout)
+            surfer = surfers[key]
+            iterations = wl.iterations or _default_iterations(wl.app)
 
-        def run(wl: WorkloadSpec = wl, surfer: Any = surfer,
-                iterations: int = iterations) -> Any:
-            app = _make_app(wl.app, wl.engine, wl.app_args)
-            if wl.engine == "mapreduce":
-                return surfer.run_mapreduce(
-                    app, rounds=iterations, vectorized=wl.vectorized,
-                    combiner=wl.combiner,
+            def run(wl: WorkloadSpec = wl, surfer: Any = surfer,
+                    iterations: int = iterations) -> Any:
+                app = _make_app(wl.app, wl.engine, wl.app_args)
+                if wl.engine == "mapreduce":
+                    return surfer.run_mapreduce(
+                        app, rounds=iterations, vectorized=wl.vectorized,
+                        combiner=wl.combiner,
+                        until_convergence=wl.until_convergence,
+                    )
+                return surfer.run_propagation(
+                    app, iterations=iterations, local_opts=wl.local_opts,
+                    vectorized=wl.vectorized, frontier=wl.frontier,
                     until_convergence=wl.until_convergence,
                 )
-            return surfer.run_propagation(
-                app, iterations=iterations, local_opts=wl.local_opts,
-                vectorized=wl.vectorized, frontier=wl.frontier,
-                until_convergence=wl.until_convergence,
-            )
 
-        job, wall = timed_min_of_n(run, repetitions)
-        if job.failed:
-            raise BenchRunError(
-                f"workload {wl.name!r} failed: {job.error}"
-            )
-        issues = reconcile(job)
-        if issues:
-            raise BenchRunError(
-                f"workload {wl.name!r} does not reconcile: "
-                + "; ".join(issues)
-            )
-        records[wl.name] = job_record(job, wall)
-        if progress is not None:
-            progress(f"  {wl.name}: makespan "
-                     f"{records[wl.name]['makespan_s']:,.1f}s sim, "
-                     f"wall {wall:.3f}s (min of {repetitions})")
+            peak: int | None = None
+            if wl.measure_rss:
+                (job, wall), peak = measure_peak_rss(
+                    lambda run=run: timed_min_of_n(run, repetitions))
+                if (wl.max_peak_rss_bytes is not None and peak is not None
+                        and peak > wl.max_peak_rss_bytes):
+                    raise BenchRunError(
+                        f"workload {wl.name!r} peak RSS {peak:,} bytes "
+                        f"exceeds the configured ceiling "
+                        f"{int(wl.max_peak_rss_bytes):,} bytes"
+                    )
+            else:
+                job, wall = timed_min_of_n(run, repetitions)
+            if job.failed:
+                raise BenchRunError(
+                    f"workload {wl.name!r} failed: {job.error}"
+                )
+            issues = reconcile(job)
+            if issues:
+                raise BenchRunError(
+                    f"workload {wl.name!r} does not reconcile: "
+                    + "; ".join(issues)
+                )
+            records[wl.name] = job_record(job, wall,
+                                          peak_rss_bytes=peak)
+            if progress is not None:
+                rss = ("" if peak is None
+                       else f", peak RSS {peak / 2**20:,.0f} MiB")
+                progress(f"  {wl.name}: makespan "
+                         f"{records[wl.name]['makespan_s']:,.1f}s sim, "
+                         f"wall {wall:.3f}s (min of {repetitions})"
+                         f"{rss}")
     return records
 
 

@@ -19,7 +19,9 @@
 * ``experiment`` — regenerate one of the paper's tables/figures;
 * ``partition`` — partition a graph and save the plan to a ``.npz`` file;
 * ``info`` — describe a saved plan;
-* ``graphinfo`` — profile a synthetic or edge-list graph.
+* ``graphinfo`` — profile a synthetic or edge-list graph;
+* ``store`` — stream a generator into an on-disk sharded CSR store
+  (``store build``) or describe an existing one (``store info``).
 """
 
 from __future__ import annotations
@@ -159,6 +161,43 @@ def _build_parser() -> argparse.ArgumentParser:
     ginfo.add_argument("--seed", type=int, default=0)
     ginfo.add_argument("--no-ier", action="store_true",
                        help="skip the (slow) partition-quality curve")
+
+    store = sub.add_parser(
+        "store",
+        help="build or inspect an on-disk sharded CSR graph store "
+             "(the out-of-core XL path)",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    sbuild = store_sub.add_parser(
+        "build",
+        help="stream a synthetic generator into a shard store without "
+             "materializing the edge set in RAM",
+    )
+    sbuild.add_argument("output", help="store directory to create")
+    sbuild.add_argument("--kind",
+                        choices=("rmat", "small-world", "web"),
+                        default="rmat")
+    sbuild.add_argument("--shards", type=int, default=8,
+                        help="shard count (match the planned partition "
+                             "count so partitions alias shards)")
+    sbuild.add_argument("--scale", type=int, default=16,
+                        help="R-MAT scale: n = 2^scale")
+    sbuild.add_argument("--edge-factor", type=int, default=8,
+                        help="R-MAT edges per vertex (before dedup)")
+    sbuild.add_argument("--vertices", type=int, default=4096,
+                        help="small-world vertex count")
+    sbuild.add_argument("--k", type=int, default=4,
+                        help="small-world out-degree")
+    sbuild.add_argument("--rewire-p", type=float, default=0.05,
+                        help="small-world rewire probability")
+    sbuild.add_argument("--core", type=int, default=32,
+                        help="web-feeder core size")
+    sbuild.add_argument("--feeders", type=int, default=480,
+                        help="web-feeder feeder count")
+    sbuild.add_argument("--seed", type=int, default=0)
+    sinfo = store_sub.add_parser("info",
+                                 help="describe an existing shard store")
+    sinfo.add_argument("path", help="store directory")
 
     bench = sub.add_parser(
         "bench",
@@ -589,6 +628,54 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    from repro.graph.store import ShardStore, build_shard_store
+    from repro.runtime.events import wall_timer
+
+    if args.store_command == "build":
+        from repro.graph.stream import (
+            stream_rmat,
+            stream_small_world,
+            stream_web_feeder,
+        )
+
+        if args.kind == "rmat":
+            stream = stream_rmat(args.scale, edge_factor=args.edge_factor,
+                                 seed=args.seed)
+        elif args.kind == "small-world":
+            stream = stream_small_world(args.vertices, k=args.k,
+                                        rewire_p=args.rewire_p,
+                                        seed=args.seed)
+        else:
+            stream = stream_web_feeder(args.core, args.feeders,
+                                       seed=args.seed)
+        timer = wall_timer()
+        store = build_shard_store(stream, args.output,
+                                  num_shards=args.shards)
+        elapsed = timer.elapsed()
+        print(f"built {args.output}: {store.num_vertices:,} vertices, "
+              f"{store.num_edges:,} edges in {store.num_shards} "
+              f"shard(s), {elapsed:.1f}s wall")
+        print(f"largest shard: {store.largest_shard_edges():,} edges "
+              f"({store.largest_shard_edges() * 8 / 2**20:,.1f} MiB "
+              f"of indices)")
+        return 0
+
+    store = ShardStore(args.path)
+    print(f"format    : {store.manifest['format']}")
+    print(f"vertices  : {store.num_vertices:,}")
+    print(f"edges     : {store.num_edges:,}")
+    print(f"shards    : {store.num_shards}")
+    print(f"dedup     : {store.manifest['dedup']} | drop_self_loops: "
+          f"{store.manifest['drop_self_loops']}")
+    for s in range(store.num_shards):
+        lo = int(store.vertex_starts[s])
+        hi = int(store.vertex_starts[s + 1])
+        print(f"  shard {s:3d}: vertices [{lo:,}, {hi:,}), "
+              f"{store.shard_edge_count(s):,} edges")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     import pathlib
 
@@ -709,6 +796,7 @@ def main(argv: list[str] | None = None) -> int:
         "partition": _cmd_partition,
         "info": _cmd_info,
         "graphinfo": _cmd_graphinfo,
+        "store": _cmd_store,
         "bench": _cmd_bench,
         "check": _cmd_check,
     }

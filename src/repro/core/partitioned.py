@@ -22,7 +22,7 @@ from repro.graph.digraph import Graph
 from repro.graph.io import DEGREE_BYTES, VERTEX_ID_BYTES
 from repro.partitioning.metrics import validate_assignment
 
-__all__ = ["PartitionedGraph", "VertexEncoding"]
+__all__ = ["PartitionedGraph", "RangePartitionedGraph", "VertexEncoding"]
 
 
 class VertexEncoding:
@@ -186,6 +186,26 @@ class PartitionedGraph:
         m_p = self.partition_edge_count(p)
         return n_p * (VERTEX_ID_BYTES + DEGREE_BYTES) + m_p * VERTEX_ID_BYTES
 
+    def cross_partition_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cross-partition edge counts per partition, ``(outgoing,
+        incoming)`` — the placement cost model's network term."""
+        cross = self.edge_src_part != self.edge_dst_part
+        out_cross = np.bincount(
+            self.edge_src_part[cross], minlength=self.num_parts
+        )
+        in_cross = np.bincount(
+            self.edge_dst_part[cross], minlength=self.num_parts
+        )
+        return out_cross, in_cross
+
+    def cross_traffic_counts(self) -> np.ndarray:
+        """``T[p, q]`` = cross edges from partition ``p`` to ``q``."""
+        mat = np.zeros((self.num_parts, self.num_parts), dtype=np.float64)
+        cross = self.edge_src_part != self.edge_dst_part
+        np.add.at(mat, (self.edge_src_part[cross],
+                        self.edge_dst_part[cross]), 1.0)
+        return mat
+
     def encoding(self) -> VertexEncoding:
         """Consecutive-range id encoding for this partitioning."""
         return VertexEncoding(self.parts, self.num_parts)
@@ -205,3 +225,162 @@ class PartitionedGraph:
             for v, pid in destmap.items():
                 if self.parts[v] != pid or pid == p:
                     raise PartitioningError("(v, pid) map inconsistent")
+
+
+class RangePartitionedGraph:
+    """A graph partitioned into contiguous vertex ranges, out-of-core clean.
+
+    The drop-in counterpart of :class:`PartitionedGraph` for
+    shard-backed graphs: every per-partition structure is derived from
+    the CSR offsets plus *chunked* scans of one partition's edge range
+    at a time, so construction and queries never materialize a global
+    O(m) edge array — peak memory stays O(largest partition + n).
+    Partition ``p`` owns vertices ``offsets[p] .. offsets[p+1] - 1``;
+    when the ranges coincide with a shard store's boundaries,
+    :meth:`partition_edges` is a zero-copy view of shard ``p``'s memmap.
+
+    Works with any :class:`~repro.graph.digraph.Graph` — plain in-memory
+    graphs take the same code paths via ``out_indices_range`` views,
+    which is how the bit-identity tests compare an XL out-of-core run
+    against an in-RAM run of the same seed.
+    """
+
+    def __init__(self, graph: Graph, offsets: np.ndarray, num_parts: int):
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n = graph.num_vertices
+        if (offsets.size != num_parts + 1 or offsets[0] != 0
+                or offsets[-1] != n or np.any(np.diff(offsets) < 0)):
+            raise PartitioningError(
+                "range offsets must be P+1 offsets covering [0, n]")
+        self.graph = graph
+        self.offsets = offsets
+        self.num_parts = num_parts
+        self.parts = np.repeat(
+            np.arange(num_parts, dtype=np.int64), np.diff(offsets))
+        self.partition_vertices: list[np.ndarray] = [
+            np.arange(offsets[p], offsets[p + 1], dtype=np.int64)
+            for p in range(num_parts)
+        ]
+
+        # One chunked pass per partition: boundary vertices, per-pair
+        # cross-edge counts.  Each pass touches only that partition's
+        # destination slice.
+        indptr = graph.out_indptr
+        boundary = np.zeros(n, dtype=bool)
+        out_cross = np.zeros(num_parts, dtype=np.int64)
+        in_cross = np.zeros(num_parts, dtype=np.int64)
+        traffic = np.zeros((num_parts, num_parts), dtype=np.float64)
+        for p in range(num_parts):
+            vlo, vhi = int(offsets[p]), int(offsets[p + 1])
+            elo, ehi = int(indptr[vlo]), int(indptr[vhi])
+            if ehi == elo:
+                continue
+            dst = np.asarray(graph.out_indices_range(elo, ehi))
+            dst_parts = np.searchsorted(offsets, dst, side="right") - 1
+            cross = dst_parts != p
+            if not cross.any():
+                continue
+            boundary[dst[cross]] = True
+            src = np.repeat(np.arange(vlo, vhi, dtype=np.int64),
+                            np.diff(indptr[vlo:vhi + 1]))
+            boundary[src[cross]] = True
+            counts = np.bincount(dst_parts[cross], minlength=num_parts)
+            out_cross[p] = int(counts.sum())
+            in_cross += counts
+            traffic[p] += counts
+        self.boundary_mask = boundary
+        self._out_cross = out_cross
+        self._in_cross = in_cross
+        self._traffic = traffic
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_cross_edges(self) -> int:
+        return int(self._out_cross.sum())
+
+    @property
+    def inner_vertex_ratio(self) -> float:
+        n = self.num_vertices
+        if n == 0:
+            return 1.0
+        return 1.0 - float(self.boundary_mask.sum()) / n
+
+    @property
+    def inner_edge_ratio(self) -> float:
+        m = self.graph.num_edges
+        if m == 0:
+            return 1.0
+        return 1.0 - self.num_cross_edges / m
+
+    def partition_of(self, vertex: int) -> int:
+        return int(np.searchsorted(self.offsets, vertex, side="right") - 1)
+
+    def is_inner(self, vertex: int) -> bool:
+        return not bool(self.boundary_mask[vertex])
+
+    def partition_size(self, p: int) -> int:
+        return int(self.offsets[p + 1] - self.offsets[p])
+
+    def _edge_range(self, p: int) -> tuple[int, int]:
+        indptr = self.graph.out_indptr
+        return (int(indptr[self.offsets[p]]),
+                int(indptr[self.offsets[p + 1]]))
+
+    def partition_edges(self, p: int) -> tuple[np.ndarray, np.ndarray]:
+        """Out-edges whose source lies in partition ``p`` as (src, dst).
+
+        ``dst`` is a zero-copy CSR slice (the whole shard memmap when
+        partition ranges match shard boundaries); ``src`` is an O(m_p)
+        expansion of the range's degrees.
+        """
+        vlo, vhi = int(self.offsets[p]), int(self.offsets[p + 1])
+        elo, ehi = self._edge_range(p)
+        src = np.repeat(np.arange(vlo, vhi, dtype=np.int64),
+                        np.diff(self.graph.out_indptr[vlo:vhi + 1]))
+        return src, self.graph.out_indices_range(elo, ehi)
+
+    def partition_edge_count(self, p: int) -> int:
+        elo, ehi = self._edge_range(p)
+        return ehi - elo
+
+    def partition_out_edges(
+        self, p: int, vertices: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Scan-order out-edges of (a subset of) partition ``p``.
+
+        For a contiguous range the full-partition scan order *is* CSR
+        order, so this equals :meth:`partition_edges`; subsets delegate
+        to the graph's shard-aware gather.
+        """
+        if vertices is None:
+            return self.partition_edges(p)
+        return self.graph.out_edges_of(vertices)
+
+    def partition_bytes(self, p: int) -> int:
+        n_p = self.partition_size(p)
+        m_p = self.partition_edge_count(p)
+        return n_p * (VERTEX_ID_BYTES + DEGREE_BYTES) + m_p * VERTEX_ID_BYTES
+
+    def cross_partition_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._out_cross, self._in_cross
+
+    def cross_traffic_counts(self) -> np.ndarray:
+        return self._traffic
+
+    def encoding(self) -> VertexEncoding:
+        """Consecutive-range id encoding (the identity for range plans)."""
+        return VertexEncoding(self.parts, self.num_parts)
+
+    def validate(self) -> None:
+        """Internal-consistency checks (used by tests)."""
+        validate_assignment(self.parts, self.num_vertices, self.num_parts)
+        total = sum(v.size for v in self.partition_vertices)
+        if total != self.num_vertices:
+            raise PartitioningError("partition vertex lists do not cover V")
+        if sum(self.partition_edge_count(p)
+               for p in range(self.num_parts)) != self.graph.num_edges:
+            raise PartitioningError("partition edge ranges do not cover E")

@@ -43,13 +43,9 @@ def estimate_partition_costs(
     machine.
     """
     costs = np.zeros(pgraph.num_parts, dtype=np.float64)
-    cross = pgraph.edge_src_part != pgraph.edge_dst_part
-    out_cross = np.bincount(
-        pgraph.edge_src_part[cross], minlength=pgraph.num_parts
-    )
-    in_cross = np.bincount(
-        pgraph.edge_dst_part[cross], minlength=pgraph.num_parts
-    )
+    # both partitioned-graph flavors expose the counts; the range-based
+    # one computes them chunked so no O(m) per-edge arrays are needed
+    out_cross, in_cross = pgraph.cross_partition_counts()
     for p in range(pgraph.num_parts):
         local = (pgraph.partition_bytes(p)
                  + 8.0 * pgraph.partition_edge_count(p))
@@ -130,12 +126,7 @@ def partition_traffic_matrix(pgraph, message_bytes: float = 16.0) -> np.ndarray:
     direction times the per-message wire size — the volume that crosses
     the network when the two partitions sit on different machines.
     """
-    num_parts = pgraph.num_parts
-    mat = np.zeros((num_parts, num_parts), dtype=np.float64)
-    cross = pgraph.edge_src_part != pgraph.edge_dst_part
-    src_p = pgraph.edge_src_part[cross]
-    dst_p = pgraph.edge_dst_part[cross]
-    np.add.at(mat, (src_p, dst_p), message_bytes)
+    mat = pgraph.cross_traffic_counts() * message_bytes
     return mat + mat.T
 
 

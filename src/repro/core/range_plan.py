@@ -1,0 +1,106 @@
+"""Contiguous-range partition plans for out-of-core graphs.
+
+The recursive-bisection partitioners need the whole (weighted) edge set
+in memory, which defeats the shard store's O(shard) bound.  For XL runs
+we instead partition by *contiguous vertex ranges* — exactly the layout
+the shard store already has on disk.  When the plan's ranges equal the
+store's shard boundaries, partition ``p`` **is** shard ``p``: loading a
+partition is a zero-copy memmap view and no per-edge relabeling exists
+anywhere in the pipeline.
+
+Placement still goes through the bandwidth-aware machine tree
+(:func:`~repro.core.bandwidth_aware.build_machine_tree`): partition
+prefixes map onto machine-tree leaves in index order, so sibling ranges
+— which share the most cross edges under any locality-preserving vertex
+order — land on bandwidth-close machines, same as the sketch-driven
+plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.topology import Topology
+from repro.core.bandwidth_aware import PartitionPlan, build_machine_tree
+from repro.errors import PartitioningError
+from repro.graph.digraph import Graph
+from repro.partitioning.recursive import num_levels_for_parts
+
+__all__ = ["RangePartitionPlan", "contiguous_range_plan",
+           "balanced_range_offsets"]
+
+
+@dataclass
+class RangePartitionPlan(PartitionPlan):
+    """A :class:`PartitionPlan` whose partitions are contiguous vertex
+    ranges; ``range_offsets`` holds the P+1 boundaries.  Consumers
+    dispatch on this field to build a
+    :class:`~repro.core.partitioned.RangePartitionedGraph` instead of
+    the table-based partitioned graph."""
+
+    range_offsets: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+
+def balanced_range_offsets(graph: Graph, num_parts: int) -> np.ndarray:
+    """Edge-balanced contiguous boundaries from the CSR offsets (O(n))."""
+    n = graph.num_vertices
+    indptr = graph.out_indptr
+    total = int(indptr[-1])
+    targets = (np.arange(1, num_parts, dtype=np.int64) * total) // num_parts
+    inner = np.searchsorted(indptr[1:], targets, side="left") + 1
+    offsets = np.concatenate((
+        np.zeros(1, dtype=np.int64),
+        np.minimum(inner, n).astype(np.int64),
+        np.array([n], dtype=np.int64),
+    ))
+    return np.maximum.accumulate(offsets)
+
+
+def contiguous_range_plan(
+    graph: Graph,
+    topology: Topology,
+    num_parts: int,
+    seed: int = 0,
+    offsets: np.ndarray | None = None,
+) -> RangePartitionPlan:
+    """Partition ``graph`` into contiguous ranges with tree placement.
+
+    ``offsets`` pins the boundaries (pass the shard store's
+    ``vertex_starts`` so partitions alias shards); the default is
+    edge-balanced boundaries from the indptr prefix sums.  ``num_parts``
+    must be a power of two, like every plan in this repo.
+    """
+    if num_parts < 1:
+        raise PartitioningError("num_parts must be positive")
+    num_levels = num_levels_for_parts(num_parts)
+    if 1 << num_levels != num_parts:
+        raise PartitioningError("num_parts must be a power of two")
+    if offsets is None:
+        offsets = balanced_range_offsets(graph, num_parts)
+    else:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if (offsets.size != num_parts + 1 or offsets[0] != 0
+                or offsets[-1] != graph.num_vertices
+                or np.any(np.diff(offsets) < 0)):
+            raise PartitioningError(
+                "offsets must be P+1 boundaries covering [0, n]")
+    machine_sets = build_machine_tree(topology, num_levels, seed=seed)
+    placement = np.zeros(num_parts, dtype=np.int64)
+    for p in range(num_parts):
+        leaf = machine_sets[(num_levels, p)]
+        if len(leaf) != 1:
+            raise PartitioningError("machine tree leaf not collapsed")
+        placement[p] = leaf[0]
+    parts = np.repeat(np.arange(num_parts, dtype=np.int64),
+                      np.diff(offsets))
+    return RangePartitionPlan(
+        parts=parts,
+        num_parts=num_parts,
+        placement=placement,
+        machine_sets=machine_sets,
+        method="contiguous-range",
+        range_offsets=offsets,
+    )

@@ -9,6 +9,7 @@ lets partitioners, engines and the simulator share them freely.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -16,6 +17,37 @@ import numpy as np
 from repro.errors import GraphError
 
 __all__ = ["Graph"]
+
+# Pairs per block when ingesting a lazy edge iterable: bounds the
+# transient Python-object overhead to O(chunk) instead of O(m).
+_INGEST_CHUNK = 1 << 16
+
+
+def _edges_to_array(edges: Iterable[tuple[int, int]] | np.ndarray) -> np.ndarray:
+    """Materialize an edge iterable as one array, in fixed-size chunks.
+
+    A plain ``np.asarray(list(edges))`` holds every pair as a Python
+    tuple simultaneously — roughly 10x the final array's footprint.
+    Converting ``_INGEST_CHUNK`` pairs at a time keeps the per-pair
+    object overhead bounded while producing the identical array.
+    """
+    if isinstance(edges, np.ndarray):
+        return edges
+    it = iter(edges)
+    blocks: list[np.ndarray] = []
+    try:
+        while True:
+            chunk = list(islice(it, _INGEST_CHUNK))
+            if not chunk:
+                break
+            blocks.append(np.asarray(chunk))
+        if not blocks:
+            return np.zeros((0, 2), dtype=np.int64)
+        if len(blocks) == 1:
+            return blocks[0]
+        return np.concatenate(blocks)
+    except ValueError as exc:
+        raise GraphError("edges must be (m, 2) pairs") from exc
 
 
 def _build_csr(
@@ -83,7 +115,7 @@ class Graph:
         ``edges`` may be any iterable of pairs or an ``(m, 2)`` array.
         ``num_vertices`` defaults to ``max endpoint + 1``.
         """
-        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        arr = _edges_to_array(edges)
         if arr.size == 0:
             arr = arr.reshape(0, 2)
         if arr.ndim != 2 or arr.shape[1] != 2:
@@ -208,6 +240,15 @@ class Graph:
         idx = (np.arange(m, dtype=np.int64)
                + np.repeat(starts - block_starts, counts))
         return src, self.out_indices[idx]
+
+    def out_indices_range(self, lo: int, hi: int) -> np.ndarray:
+        """Edge slots ``[lo, hi)`` of the CSR destination array.
+
+        The contract shard-backed graphs implement zero-copy from a
+        memmapped shard; here it is a plain view.  Callers must treat
+        the result as read-only.
+        """
+        return self.out_indices[lo:hi]
 
     def edges(self) -> np.ndarray:
         """All edges as an ``(m, 2)`` array in CSR order."""

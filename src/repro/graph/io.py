@@ -126,26 +126,57 @@ def write_adjacency_binary(graph: Graph, dest: BinaryIO | str | Path) -> None:
     dest.write(graph.out_indices.astype("<i8").tobytes())
 
 
-def read_adjacency_binary(src: BinaryIO | str | Path) -> Graph:
-    """Read a graph written by :func:`write_adjacency_binary`."""
-    if isinstance(src, (str, Path)):
-        with open(src, "rb") as handle:
-            return read_adjacency_binary(handle)
-    magic = src.read(4)
+_HEADER_FMT = "<IQQ"
+_HEADER_BYTES = len(_MAGIC) + struct.calcsize(_HEADER_FMT)
+
+
+def _parse_binary_header(magic: bytes, header: bytes) -> tuple[int, int]:
     if magic != _MAGIC:
         raise GraphFormatError("not a Surfer binary graph (bad magic)")
-    header = src.read(struct.calcsize("<IQQ"))
-    if len(header) != struct.calcsize("<IQQ"):
+    if len(header) != struct.calcsize(_HEADER_FMT):
         raise GraphFormatError("truncated header")
-    version, n, m = struct.unpack("<IQQ", header)
+    version, n, m = struct.unpack(_HEADER_FMT, header)
     if version != _VERSION:
         raise GraphFormatError(f"unsupported version {version}")
+    return n, m
+
+
+def read_adjacency_binary(src: BinaryIO | str | Path,
+                          mmap: bool = False) -> Graph:
+    """Read a graph written by :func:`write_adjacency_binary`.
+
+    With ``mmap=True`` (filesystem paths only) the CSR payload is
+    memory-mapped read-only in place instead of loaded — opening a
+    multi-GB graph costs O(1) resident memory until pages are touched.
+    The default path reads each array with a single copy (``frombuffer``
+    is zero-copy; the little-endian cast is a no-op view on LE hosts).
+    """
+    if isinstance(src, (str, Path)):
+        if not mmap:
+            with open(src, "rb") as handle:
+                return read_adjacency_binary(handle)
+        with open(src, "rb") as handle:
+            n, m = _parse_binary_header(handle.read(4),
+                                        handle.read(struct.calcsize(_HEADER_FMT)))
+        if Path(src).stat().st_size < _HEADER_BYTES + 8 * (n + 1 + m):
+            raise GraphFormatError("truncated graph payload")
+        indptr = np.memmap(src, dtype="<i8", mode="r",
+                           offset=_HEADER_BYTES, shape=(n + 1,))
+        indices = np.memmap(src, dtype="<i8", mode="r",
+                            offset=_HEADER_BYTES + 8 * (n + 1), shape=(m,))
+        return Graph(indptr, indices)
+    if mmap:
+        raise GraphFormatError("mmap=True requires a filesystem path")
+    n, m = _parse_binary_header(src.read(4),
+                                src.read(struct.calcsize(_HEADER_FMT)))
     indptr_bytes = src.read(8 * (n + 1))
     indices_bytes = src.read(8 * m)
     if len(indptr_bytes) != 8 * (n + 1) or len(indices_bytes) != 8 * m:
         raise GraphFormatError("truncated graph payload")
-    indptr = np.frombuffer(indptr_bytes, dtype="<i8").astype(np.int64)
-    indices = np.frombuffer(indices_bytes, dtype="<i8").astype(np.int64)
+    indptr = np.frombuffer(indptr_bytes, dtype="<i8").astype(np.int64,
+                                                             copy=False)
+    indices = np.frombuffer(indices_bytes, dtype="<i8").astype(np.int64,
+                                                               copy=False)
     return Graph(indptr, indices)
 
 

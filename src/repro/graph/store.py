@@ -1,0 +1,422 @@
+"""Sharded, memory-mappable CSR graph store.
+
+The out-of-core counterpart of :class:`repro.graph.digraph.Graph`: one
+directory holding a JSON manifest plus per-shard ``indptr``/``indices``
+``.npy`` files.  Shards cover contiguous source-vertex ranges, written
+once by an external count-then-scatter build over an
+:class:`~repro.graph.stream.EdgeStream` and opened via ``np.load(...,
+mmap_mode="r")`` — so building and processing a graph both keep peak
+RSS at O(largest shard + n), never O(m).
+
+Build (three passes, each O(chunk) + O(n) resident):
+
+1. **count** — stream the edges once, drop self loops, accumulate raw
+   per-source degrees; choose edge-balanced shard boundaries from the
+   degree prefix sums (callers may pin boundaries, e.g. to partition
+   ranges so partition ``p`` *is* shard ``p``).
+2. **scatter** — stream again, routing each edge's destination into its
+   source row's reserved slots in the owning shard's raw scratch file
+   (a vectorized external counting sort by source).
+3. **finalize** — per shard: sort each row's destinations, drop
+   adjacent duplicates when ``dedup``, and write the final local
+   ``indptr``/``indices`` arrays.  Because shards are source ranges,
+   per-shard dedup equals global dedup, and the result is bit-identical
+   to ``Graph.from_edges(edges, dedup=..., drop_self_loops=...)`` on
+   the materialized edge list.
+
+:class:`ShardBackedGraph` then exposes the store through the ``Graph``
+API with a *raising* ``out_indices`` — any code path that would
+materialize the whole edge array fails loudly instead of silently
+blowing the memory budget; consumers use :meth:`Graph.out_indices_range`
+and the per-partition gathers instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph
+from repro.graph.stream import EdgeStream
+
+__all__ = [
+    "MANIFEST_NAME",
+    "STORE_FORMAT",
+    "ShardStore",
+    "ShardBackedGraph",
+    "build_shard_store",
+    "open_shard_graph",
+]
+
+MANIFEST_NAME = "manifest.json"
+STORE_FORMAT = "repro-shard-store/v1"
+
+
+def _expand_blocks(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat gather indices for variable-length blocks.
+
+    ``result`` enumerates ``starts[i] .. starts[i] + counts[i] - 1`` for
+    each ``i`` in order — the same arithmetic ``Graph.out_edges_of``
+    uses.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    block_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return (np.arange(total, dtype=np.int64)
+            + np.repeat(starts - block_starts, counts))
+
+
+def _balanced_starts(degrees: np.ndarray, num_shards: int) -> np.ndarray:
+    """Edge-balanced shard boundaries: S+1 vertex offsets."""
+    n = degrees.size
+    total = int(degrees.sum())
+    cum = np.cumsum(degrees)
+    targets = (np.arange(1, num_shards, dtype=np.int64) * total) // num_shards
+    inner = np.searchsorted(cum, targets, side="left") + 1
+    starts = np.concatenate((
+        np.zeros(1, dtype=np.int64),
+        np.minimum(inner, n).astype(np.int64),
+        np.array([n], dtype=np.int64),
+    ))
+    return np.maximum.accumulate(starts)
+
+
+def build_shard_store(
+    stream: EdgeStream,
+    path: str | Path,
+    num_shards: int,
+    dedup: bool = True,
+    drop_self_loops: bool = True,
+    vertex_starts: Sequence[int] | np.ndarray | None = None,
+    meta: dict | None = None,
+) -> "ShardStore":
+    """Count-then-scatter an :class:`EdgeStream` into a shard store.
+
+    ``vertex_starts`` (S+1 offsets) pins the shard boundaries; the
+    default is edge-balanced boundaries from the raw degree prefix sums.
+    Returns the opened :class:`ShardStore`.
+    """
+    if num_shards < 1:
+        raise GraphError("num_shards must be at least 1")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    n = int(stream.num_vertices)
+
+    # -- pass 1: count raw per-source degrees -------------------------
+    degrees = np.zeros(n, dtype=np.int64)
+    for src, dst in stream.chunks():
+        if src.size == 0:
+            continue
+        if drop_self_loops:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        if src.size == 0:
+            continue
+        if min(src.min(), dst.min()) < 0:
+            raise GraphError("vertex ids must be non-negative")
+        if max(src.max(), dst.max()) >= n:
+            raise GraphError("edge endpoint exceeds num_vertices")
+        degrees += np.bincount(src, minlength=n)
+
+    if vertex_starts is None:
+        starts = _balanced_starts(degrees, num_shards)
+    else:
+        starts = np.asarray(vertex_starts, dtype=np.int64)
+        if (starts.size != num_shards + 1 or starts[0] != 0
+                or starts[-1] != n or np.any(np.diff(starts) < 0)):
+            raise GraphError("vertex_starts must be S+1 offsets over [0, n]")
+
+    # slot_base[v] = global slot of v's first raw edge
+    slot_base = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=slot_base[1:])
+    shard_edge_start = slot_base[starts]
+    raw_counts = np.diff(shard_edge_start)
+
+    # -- pass 2: scatter destinations into per-shard scratch files ----
+    raw_paths = [path / f"shard{s:05d}.raw.npy" for s in range(num_shards)]
+    raw_maps: list[np.ndarray | None] = []
+    for s in range(num_shards):
+        if raw_counts[s]:
+            raw_maps.append(np.lib.format.open_memmap(
+                raw_paths[s], mode="w+", dtype=np.int64,
+                shape=(int(raw_counts[s]),)))
+        else:
+            raw_maps.append(None)
+    write_pos = slot_base[:-1].copy()
+    for src, dst in stream.chunks():
+        if drop_self_loops and src.size:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        if src.size == 0:
+            continue
+        order = np.argsort(src, kind="stable")
+        ssrc, sdst = src[order], dst[order]
+        uniq, first, counts = np.unique(ssrc, return_index=True,
+                                        return_counts=True)
+        occ = (np.arange(ssrc.size, dtype=np.int64)
+               - np.repeat(first, counts))
+        slots = write_pos[ssrc] + occ
+        shard_ids = np.searchsorted(starts, ssrc, side="right") - 1
+        sh_uniq, sh_first, sh_counts = np.unique(
+            shard_ids, return_index=True, return_counts=True)
+        for s, st, ct in zip(sh_uniq, sh_first, sh_counts):
+            block = slice(int(st), int(st + ct))
+            target = raw_maps[int(s)]
+            assert target is not None
+            target[slots[block] - shard_edge_start[s]] = sdst[block]
+        write_pos[uniq] += counts
+    for mm in raw_maps:
+        if mm is not None:
+            mm.flush()
+    del raw_maps
+
+    # -- pass 3: per-shard row sort (+ dedup), final npy files --------
+    shards = []
+    total_edges = 0
+    for s in range(num_shards):
+        lo, hi = int(starts[s]), int(starts[s + 1])
+        local_n = hi - lo
+        raw_deg = degrees[lo:hi]
+        if raw_counts[s]:
+            dst_raw = np.asarray(np.load(raw_paths[s], mmap_mode="r"))
+            rows = np.repeat(np.arange(local_n, dtype=np.int64), raw_deg)
+            order = np.lexsort((dst_raw, rows))
+            rows_s, dst_s = rows[order], dst_raw[order]
+            if dedup and rows_s.size:
+                keep = np.ones(rows_s.size, dtype=bool)
+                keep[1:] = ((rows_s[1:] != rows_s[:-1])
+                            | (dst_s[1:] != dst_s[:-1]))
+                rows_s, dst_s = rows_s[keep], dst_s[keep]
+        else:
+            rows_s = np.zeros(0, dtype=np.int64)
+            dst_s = np.zeros(0, dtype=np.int64)
+        indptr_local = np.zeros(local_n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows_s, minlength=local_n),
+                  out=indptr_local[1:])
+        indptr_name = f"shard{s:05d}.indptr.npy"
+        indices_name = f"shard{s:05d}.indices.npy"
+        np.save(path / indptr_name, indptr_local)
+        np.save(path / indices_name, dst_s.astype(np.int64, copy=False))
+        shards.append({
+            "indptr": indptr_name,
+            "indices": indices_name,
+            "num_edges": int(dst_s.size),
+        })
+        total_edges += int(dst_s.size)
+        if raw_paths[s].exists():
+            raw_paths[s].unlink()
+
+    manifest = {
+        "format": STORE_FORMAT,
+        "num_vertices": n,
+        "num_edges": total_edges,
+        "num_shards": num_shards,
+        "dedup": bool(dedup),
+        "drop_self_loops": bool(drop_self_loops),
+        "vertex_starts": [int(v) for v in starts],
+        "shards": shards,
+    }
+    if meta:
+        manifest["meta"] = dict(meta)
+    with open(path / MANIFEST_NAME, "w", encoding="ascii") as handle:
+        json.dump(manifest, handle, indent=1, sort_keys=True)
+    return ShardStore(path)
+
+
+class ShardStore:
+    """An opened shard-store directory: manifest + per-shard memmaps."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise GraphError(f"no shard-store manifest at {manifest_path}")
+        with open(manifest_path, "r", encoding="ascii") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != STORE_FORMAT:
+            raise GraphError(
+                f"unsupported shard-store format {manifest.get('format')!r}")
+        self.manifest = manifest
+        self.num_vertices = int(manifest["num_vertices"])
+        self.num_edges = int(manifest["num_edges"])
+        self.num_shards = int(manifest["num_shards"])
+        self.vertex_starts = np.asarray(manifest["vertex_starts"],
+                                        dtype=np.int64)
+        if (self.vertex_starts.size != self.num_shards + 1
+                or self.vertex_starts[0] != 0
+                or self.vertex_starts[-1] != self.num_vertices):
+            raise GraphError("manifest vertex_starts are inconsistent")
+        self._indptrs: list[np.ndarray] = []
+        self._indices: list[np.ndarray] = []
+        for s, shard in enumerate(manifest["shards"]):
+            indptr = np.load(self.path / shard["indptr"], mmap_mode="r")
+            local_n = (self.vertex_starts[s + 1] - self.vertex_starts[s])
+            if indptr.size != local_n + 1:
+                raise GraphError(f"shard {s} indptr does not match its "
+                                 "vertex range")
+            indices = np.load(self.path / shard["indices"], mmap_mode="r")
+            if indices.size != int(shard["num_edges"]):
+                raise GraphError(f"shard {s} indices size mismatch")
+            self._indptrs.append(indptr)
+            self._indices.append(indices)
+        counts = np.array([idx.size for idx in self._indices],
+                          dtype=np.int64)
+        self.edge_offsets = np.zeros(self.num_shards + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.edge_offsets[1:])
+        if self.edge_offsets[-1] != self.num_edges:
+            raise GraphError("manifest edge count does not match shards")
+        self._global_indptr: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def global_indptr(self) -> np.ndarray:
+        """The full CSR offsets array (O(n) resident, assembled once)."""
+        if self._global_indptr is None:
+            indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+            for s in range(self.num_shards):
+                lo, hi = self.vertex_starts[s], self.vertex_starts[s + 1]
+                indptr[lo + 1: hi + 1] = (self._indptrs[s][1:]
+                                          + self.edge_offsets[s])
+            self._global_indptr = indptr
+        return self._global_indptr
+
+    def shard_indices(self, s: int) -> np.ndarray:
+        """Shard ``s``'s destination array (a read-only memmap)."""
+        return self._indices[s]
+
+    def shard_indptr(self, s: int) -> np.ndarray:
+        """Shard ``s``'s local CSR offsets (memmap)."""
+        return self._indptrs[s]
+
+    def shard_edge_count(self, s: int) -> int:
+        return int(self.edge_offsets[s + 1] - self.edge_offsets[s])
+
+    def largest_shard_edges(self) -> int:
+        return int(np.diff(self.edge_offsets).max(initial=0))
+
+    def shard_of(self, v: int) -> int:
+        return int(np.searchsorted(self.vertex_starts, v, side="right") - 1)
+
+    def shard_of_array(self, vertices: np.ndarray) -> np.ndarray:
+        return (np.searchsorted(self.vertex_starts, vertices, side="right")
+                - 1)
+
+    def indices_range(self, lo: int, hi: int) -> np.ndarray:
+        """Global edge slots ``[lo, hi)``; zero-copy within one shard."""
+        if hi <= lo:
+            return np.zeros(0, dtype=np.int64)
+        s = int(np.searchsorted(self.edge_offsets, lo, side="right") - 1)
+        if hi <= self.edge_offsets[s + 1]:
+            off = int(self.edge_offsets[s])
+            return self._indices[s][lo - off: hi - off]
+        pieces = []
+        while lo < hi:
+            end = int(min(hi, self.edge_offsets[s + 1]))
+            off = int(self.edge_offsets[s])
+            pieces.append(np.asarray(self._indices[s][lo - off: end - off]))
+            lo, s = end, s + 1
+        return np.concatenate(pieces)
+
+
+class ShardBackedGraph(Graph):
+    """The ``Graph`` API over a :class:`ShardStore`.
+
+    Holds only the O(n) offsets array in memory; adjacency reads are
+    memmap slices.  Accessing ``out_indices`` raises — whole-edge-array
+    consumers must go through :meth:`out_indices_range`,
+    :meth:`out_edges_of` or :meth:`to_graph` so O(m) materialization is
+    always an explicit choice.
+    """
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: ShardStore):
+        # Graph.__init__ would assign the ``out_indices`` slot, which the
+        # raising property below must keep shadowed — so replicate the
+        # indptr-side validation instead of delegating.
+        indptr = store.global_indptr()
+        if indptr[0] != 0 or indptr[-1] != store.num_edges:
+            raise GraphError("indptr does not cover the shard store")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        self.out_indptr = indptr
+        self._in_indptr = None
+        self._in_indices = None
+        self.store = store
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        raise GraphError(
+            "ShardBackedGraph does not materialize out_indices; use "
+            "out_indices_range()/out_edges_of() or to_graph()")
+
+    @property
+    def num_edges(self) -> int:
+        return self.store.num_edges
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        lo = int(self.out_indptr[v])
+        hi = int(self.out_indptr[v + 1])
+        return self.store.indices_range(lo, hi)
+
+    def out_indices_range(self, lo: int, hi: int) -> np.ndarray:
+        return self.store.indices_range(int(lo), int(hi))
+
+    def out_edges_of(
+        self, vertices: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        verts = np.asarray(vertices, dtype=np.int64)
+        starts = self.out_indptr[verts]
+        counts = self.out_indptr[verts + 1] - starts
+        m = int(counts.sum())
+        if m == 0:
+            return (np.zeros(0, dtype=np.int64),
+                    np.zeros(0, dtype=np.int64))
+        src = np.repeat(verts, counts)
+        dst = np.empty(m, dtype=np.int64)
+        block_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        shard_ids = self.store.shard_of_array(verts)
+        for s in np.unique(shard_ids):
+            sel = shard_ids == s
+            idx_in = _expand_blocks(
+                starts[sel] - self.store.edge_offsets[s], counts[sel])
+            idx_out = _expand_blocks(block_starts[sel], counts[sel])
+            dst[idx_out] = self.store.shard_indices(int(s))[idx_in]
+        return src, dst
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        for v in range(self.num_vertices):
+            for u in self.out_neighbors(v):
+                yield v, int(u)
+
+    def to_graph(self) -> Graph:
+        """Materialize an in-memory :class:`Graph` (tests, small sizes)."""
+        pieces = [np.asarray(self.store.shard_indices(s))
+                  for s in range(self.store.num_shards)]
+        indices = (np.concatenate(pieces) if pieces
+                   else np.zeros(0, dtype=np.int64))
+        return Graph(self.out_indptr.copy(), indices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if not np.array_equal(self.out_indptr, other.out_indptr):
+            return False
+        for s in range(self.store.num_shards):
+            lo = int(self.store.edge_offsets[s])
+            hi = int(self.store.edge_offsets[s + 1])
+            if not np.array_equal(np.asarray(self.store.shard_indices(s)),
+                                  np.asarray(other.out_indices_range(lo, hi))):
+                return False
+        return True
+
+    __hash__ = Graph.__hash__
+
+
+def open_shard_graph(path: str | Path) -> ShardBackedGraph:
+    """Open a shard-store directory as a :class:`ShardBackedGraph`."""
+    return ShardBackedGraph(ShardStore(path))

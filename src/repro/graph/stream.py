@@ -1,0 +1,273 @@
+"""Streaming edge emitters — the in-memory generators without the RAM.
+
+Every generator in :mod:`repro.graph.generators` materializes its full
+``(m, 2)`` edge array before CSR construction, capping honest benchmarks
+at whatever fits in memory.  The streams here emit the *same raw edge
+sequence* — bit-identical for equal seeds — in bounded chunks, so a
+10M+-edge graph can be counted and scattered into the sharded store
+(:mod:`repro.graph.store`) with peak memory O(chunk), never O(m).
+
+Bit-identity rests on three properties of numpy's ``PCG64`` bit stream
+(asserted directly by tests/test_graph_stream.py):
+
+* ``default_rng(seed)`` draws the same stream as
+  ``Generator(PCG64(seed))``;
+* ``PCG64.advance(k)`` followed by ``.random(c)`` yields positions
+  ``[k, k + c)`` of one large ``.random`` call (``random`` consumes
+  exactly one 64-bit draw per double), so R-MAT's per-bit blocks can be
+  re-entered at any offset;
+* chunked sequential ``.integers`` / ``.random`` calls on one generator
+  concatenate identically to a single large call, so the sequential
+  tails (small-world rewiring, web chords and feeders) stream without
+  re-seeding.
+
+A stream yields the **raw** emitted edges; self-loop dropping and
+deduplication — which the in-memory generators delegate to
+``Graph.from_edges`` — happen during the shard-store build, with
+identical semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = [
+    "EdgeStream",
+    "DEFAULT_CHUNK_EDGES",
+    "stream_rmat",
+    "stream_small_world",
+    "stream_web_feeder",
+    "stream_from_edges",
+]
+
+DEFAULT_CHUNK_EDGES = 1 << 18  # 256K edges ~ 4 MiB per endpoint array
+
+
+@dataclass(frozen=True)
+class EdgeStream:
+    """A re-iterable bounded-memory edge sequence.
+
+    ``num_edges`` counts the *raw* emitted edges (before self-loop
+    dropping and dedup).  ``chunks()`` returns a fresh iterator of
+    aligned ``(src, dst)`` ``int64`` array pairs; iterate each pass in
+    order — the sequential generators thread RNG state chunk to chunk.
+    """
+
+    num_vertices: int
+    num_edges: int
+    chunk_size: int
+    _factory: Callable[[], Iterator[tuple[np.ndarray, np.ndarray]]] = field(
+        repr=False)
+
+    def chunks(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        return self._factory()
+
+
+def _require_int_seed(seed: int | np.random.Generator) -> int:
+    if isinstance(seed, np.random.Generator):
+        raise GraphError(
+            "streaming generators need an int seed (positional RNG access)")
+    return int(seed)
+
+
+def _random_block(seed: int, offset: int, count: int) -> np.ndarray:
+    """Positions ``[offset, offset + count)`` of ``default_rng(seed)``'s
+    ``.random`` stream, without drawing the prefix."""
+    bits = np.random.PCG64(seed)
+    bits.advance(offset)
+    return np.random.Generator(bits).random(count)
+
+
+def _check_chunk_size(chunk_size: int) -> int:
+    chunk_size = int(chunk_size)
+    if chunk_size <= 0:
+        raise GraphError("chunk_size must be positive")
+    return chunk_size
+
+
+# ----------------------------------------------------------------------
+# R-MAT
+# ----------------------------------------------------------------------
+def stream_rmat(
+    scale: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+) -> EdgeStream:
+    """Streamed twin of :func:`repro.graph.generators.rmat`.
+
+    The in-memory generator draws, per bit, two length-``m`` ``random``
+    blocks from one stream; edge ``i``'s draws therefore sit at fixed
+    stream positions ``2*bit*m + i`` and ``(2*bit + 1)*m + i``, so any
+    edge range can be regenerated independently via ``PCG64.advance``.
+    """
+    if scale < 0:
+        raise GraphError("scale must be non-negative")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GraphError("R-MAT probabilities must be non-negative")
+    seed = _require_int_seed(seed)
+    chunk_size = _check_chunk_size(chunk_size)
+    n = 1 << scale
+    m = edge_factor * n
+    p_src_right = c + d
+    p_dst_right_given_src_left = b / (a + b) if (a + b) > 0 else 0.0
+    p_dst_right_given_src_right = d / (c + d) if (c + d) > 0 else 0.0
+
+    def emit() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        for lo in range(0, m, chunk_size):
+            hi = min(lo + chunk_size, m)
+            cnt = hi - lo
+            src = np.zeros(cnt, dtype=np.int64)
+            dst = np.zeros(cnt, dtype=np.int64)
+            for bit in range(scale):
+                r1 = _random_block(seed, (2 * bit) * m + lo, cnt)
+                r2 = _random_block(seed, (2 * bit + 1) * m + lo, cnt)
+                src_right = r1 < p_src_right
+                p_dst = np.where(
+                    src_right,
+                    p_dst_right_given_src_right,
+                    p_dst_right_given_src_left,
+                )
+                dst_right = r2 < p_dst
+                src = (src << 1) | src_right.astype(np.int64)
+                dst = (dst << 1) | dst_right.astype(np.int64)
+            yield src, dst
+
+    return EdgeStream(n, m, chunk_size, emit)
+
+
+# ----------------------------------------------------------------------
+# Watts–Strogatz small world
+# ----------------------------------------------------------------------
+def stream_small_world(
+    num_vertices: int,
+    k: int = 4,
+    rewire_p: float = 0.05,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+) -> EdgeStream:
+    """Streamed twin of :func:`repro.graph.generators.small_world`.
+
+    The rewire mask is ``random`` (positional — re-enterable at any
+    offset); the rewired destinations are a single sequential
+    ``integers`` run starting after the ``m`` mask draws, threaded
+    chunk to chunk through one generator.
+    """
+    if num_vertices <= 0:
+        raise GraphError("num_vertices must be positive")
+    if not 0 <= rewire_p <= 1:
+        raise GraphError("rewire_p must lie in [0, 1]")
+    seed = _require_int_seed(seed)
+    chunk_size = _check_chunk_size(chunk_size)
+    n = num_vertices
+    k = min(k, max(n - 1, 0))
+    m = n * k
+
+    def emit() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        int_bits = np.random.PCG64(seed)
+        int_bits.advance(m)  # mask draws occupy stream positions [0, m)
+        int_rng = np.random.Generator(int_bits)
+        for lo in range(0, m, chunk_size):
+            hi = min(lo + chunk_size, m)
+            idx = np.arange(lo, hi, dtype=np.int64)
+            src = idx // k
+            dst = (src + idx % k + 1) % n
+            if rewire_p > 0:
+                mask = _random_block(seed, lo, hi - lo) < rewire_p
+                dst[mask] = int_rng.integers(0, n, size=int(mask.sum()))
+            yield src, dst
+
+    return EdgeStream(n, m, chunk_size, emit)
+
+
+# ----------------------------------------------------------------------
+# Web-crawl core + feeders
+# ----------------------------------------------------------------------
+def stream_web_feeder(
+    core: int,
+    feeders: int,
+    chords_per_vertex: int = 3,
+    feeder_degree: int = 2,
+    seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+) -> EdgeStream:
+    """Streamed twin of :func:`repro.graph.generators.web_feeder_graph`.
+
+    The emitted sequence is the in-memory concatenation order — ring,
+    chords, feeders — with one sequential generator drawing the chord
+    then feeder destinations; chunked same-bound ``integers`` calls
+    concatenate identically to the two in-memory bulk calls.
+    """
+    if core <= 0 or feeders < 0:
+        raise GraphError("core must be positive and feeders non-negative")
+    seed = _require_int_seed(seed)
+    chunk_size = _check_chunk_size(chunk_size)
+    n = core + feeders
+    m_ring = core
+    m_chord = core * chords_per_vertex
+    m_feed = feeders * feeder_degree
+    m = m_ring + m_chord + m_feed
+
+    def emit() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        rng = np.random.default_rng(seed)
+        for lo in range(0, m, chunk_size):
+            hi = min(lo + chunk_size, m)
+            srcs: list[np.ndarray] = []
+            dsts: list[np.ndarray] = []
+            # ring segment: positions [0, m_ring)
+            a, b = max(lo, 0), min(hi, m_ring)
+            if a < b:
+                s = np.arange(a, b, dtype=np.int64)
+                srcs.append(s)
+                dsts.append((s + 1) % core)
+            # chord segment: positions [m_ring, m_ring + m_chord)
+            a, b = max(lo, m_ring), min(hi, m_ring + m_chord)
+            if a < b:
+                j = np.arange(a - m_ring, b - m_ring, dtype=np.int64)
+                srcs.append(j // chords_per_vertex)
+                dsts.append(rng.integers(0, core, size=b - a))
+            # feeder segment: positions [m_ring + m_chord, m)
+            a, b = max(lo, m_ring + m_chord), min(hi, m)
+            if a < b:
+                j = np.arange(a - m_ring - m_chord, b - m_ring - m_chord,
+                              dtype=np.int64)
+                srcs.append(core + j // feeder_degree)
+                dsts.append(rng.integers(0, core, size=b - a))
+            yield (np.concatenate(srcs).astype(np.int64, copy=False),
+                   np.concatenate(dsts).astype(np.int64, copy=False))
+
+    return EdgeStream(n, m, chunk_size, emit)
+
+
+# ----------------------------------------------------------------------
+# Wrapping an existing edge array (tests, external data)
+# ----------------------------------------------------------------------
+def stream_from_edges(
+    edges: np.ndarray,
+    num_vertices: int,
+    chunk_size: int = DEFAULT_CHUNK_EDGES,
+) -> EdgeStream:
+    """Wrap an in-memory ``(m, 2)`` edge array as an :class:`EdgeStream`."""
+    arr = np.asarray(edges, dtype=np.int64)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphError("edges must be (m, 2) pairs")
+    chunk_size = _check_chunk_size(chunk_size)
+    m = arr.shape[0]
+
+    def emit() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        for lo in range(0, m, chunk_size):
+            hi = min(lo + chunk_size, m)
+            yield arr[lo:hi, 0], arr[lo:hi, 1]
+
+    return EdgeStream(int(num_vertices), m, chunk_size, emit)

@@ -217,3 +217,49 @@ class TestTrajectory:
     def test_empty_history_renders(self):
         text = render_markdown([], {"w": record()})
         assert "(no committed baselines)" in text
+
+
+class TestOptionalMetrics:
+    """peak_rss_bytes gates only when measured on both sides."""
+
+    def test_regression_when_both_present(self):
+        history = [doc("PR9", w=record(peak_rss_bytes=100_000_000))]
+        current = {"w": record(peak_rss_bytes=200_000_000)}
+        result = compare_records(current, history)
+        rss = [f for f in result.regressions
+               if f.metric == "peak_rss_bytes"]
+        assert len(rss) == 1  # +100% > the 50% tolerance
+
+    def test_within_tolerance_passes(self):
+        history = [doc("PR9", w=record(peak_rss_bytes=100_000_000))]
+        current = {"w": record(peak_rss_bytes=140_000_000)}
+        assert compare_records(current, history).ok
+
+    def test_skipped_when_baseline_lacks_it(self):
+        history = [doc("PR3", w=record())]
+        current = {"w": record(peak_rss_bytes=10**12)}
+        result = compare_records(current, history)
+        assert result.ok
+        assert not any(f.metric == "peak_rss_bytes"
+                       for f in result.findings)
+
+    def test_skipped_when_current_lacks_it(self):
+        # a baseline value is not a requirement to keep measuring
+        history = [doc("PR9", w=record(peak_rss_bytes=100_000_000))]
+        result = compare_records({"w": record()}, history)
+        assert result.ok
+        assert not any(f.metric == "peak_rss_bytes"
+                       for f in result.findings)
+
+    def test_schema_accepts_and_checks_optional_field(self):
+        from repro.bench.benchjson import validate_bench_json
+
+        good = doc("PR9", w=record(peak_rss_bytes=123))
+        assert validate_bench_json(good) == []
+        assert validate_bench_json(doc("PR9", w=record())) == []
+        bad = doc("PR9", w=record(peak_rss_bytes="big"))
+        assert any("peak_rss_bytes" in e for e in
+                   validate_bench_json(bad))
+        negative = doc("PR9", w=record(peak_rss_bytes=-1))
+        assert any("negative" in e for e in
+                   validate_bench_json(negative))

@@ -359,3 +359,140 @@ class TestRunSuite:
         with pytest.raises(BenchRunError) as exc:
             run_suite("smoke", config_dir=tmp_path)
         assert "re-defines workload" in str(exc.value)
+
+
+SHARD_E2E = """
+    [experiment]
+    name = "xl_tiny"
+    suites = ["smoke"]
+
+    [graph]
+    kind = "rmat_shard"
+    rmat_scale = 8
+    edge_factor = 4
+    seed = 7
+
+    [cluster]
+    topology = "T2(4,1)"
+    machines = 8
+    parts = 4
+    seed = 7
+
+    [[workload]]
+    name = "xl_tiny_nr"
+    app = "NR"
+    engine = "propagation"
+    iterations = 2
+    vectorized = true
+    measure_rss = true
+
+    [[workload]]
+    name = "xl_tiny_bfs"
+    app = "BFS"
+    engine = "propagation"
+    until_convergence = true
+    frontier = true
+"""
+
+
+class TestShardGraphConfig:
+    """kind = "rmat_shard": the out-of-core XL path (ISSUE 9)."""
+
+    def test_parses(self):
+        cfg = parse(SHARD_E2E)
+        assert cfg.graph.kind == "rmat_shard"
+        assert cfg.graph.rmat_scale == 8
+        assert cfg.graph.edge_factor == 4
+        assert cfg.workloads[0].measure_rss is True
+        assert cfg.workloads[0].max_peak_rss_bytes is None
+        assert cfg.workloads[1].measure_rss is False
+
+    def test_rejects_auto_parts_and_weak_scaling(self):
+        bad = SHARD_E2E.replace(
+            'iterations = 2', 'iterations = 2\n    parts = "auto"'
+        ).replace('until_convergence = true',
+                  'until_convergence = true\n'
+                  '    scale_graph_by_machines = true')
+        with pytest.raises(BenchConfigError) as exc:
+            parse(bad)
+        message = str(exc.value)
+        assert "auto" in message
+        assert "scale_graph_by_machines" in message
+
+    def test_rejects_bad_rss_fields(self):
+        bad = SHARD_E2E.replace(
+            "measure_rss = true",
+            'measure_rss = "yes"\n    max_peak_rss_bytes = -5')
+        with pytest.raises(BenchConfigError) as exc:
+            parse(bad)
+        message = str(exc.value)
+        assert "measure_rss" in message
+        assert "max_peak_rss_bytes" in message
+
+    def test_tolerances_accept_peak_rss(self):
+        cfg = parse(SHARD_E2E + """
+    [tolerances]
+    peak_rss_bytes = 0.75
+""")
+        assert cfg.tolerances["peak_rss_bytes"] == 0.75
+
+    def test_unknown_graph_kind_rejected(self):
+        with pytest.raises(BenchConfigError) as exc:
+            parse(SHARD_E2E.replace('"rmat_shard"', '"csr_shard"'))
+        assert "rmat_shard" in str(exc.value)
+
+
+class TestShardGraphExecution:
+    def test_end_to_end(self, tmp_path):
+        from repro.bench.memory import peak_rss_supported
+        from repro.bench.runner import run_experiment
+
+        cfg = parse(SHARD_E2E)
+        records = run_experiment(cfg, suite="smoke")
+        assert set(records) == {"xl_tiny_nr", "xl_tiny_bfs"}
+        doc = write_bench_json(tmp_path / "out.json", records, pr="TEST")
+        assert validate_bench_json(doc) == []
+        if peak_rss_supported():
+            assert records["xl_tiny_nr"]["peak_rss_bytes"] > 0
+        # measure_rss off -> no optional field on the record
+        assert "peak_rss_bytes" not in records["xl_tiny_bfs"]
+
+    def test_matches_in_memory_graph(self, tmp_path):
+        from repro.apps import APP_REGISTRY
+        from repro.bench.runner import run_experiment
+        from repro.bench.workloads import make_cluster, topology_by_name
+        from repro.core.range_plan import contiguous_range_plan
+        from repro.core.surfer import Surfer
+        from repro.graph.generators import rmat
+        from repro.graph.store import build_shard_store
+        from repro.graph.stream import stream_rmat
+
+        cfg = parse(SHARD_E2E)
+        records = run_experiment(cfg, suite="smoke")
+        # oracle: the runner's shard boundaries over the in-memory twin
+        store = build_shard_store(
+            stream_rmat(8, edge_factor=4, seed=7), tmp_path / "s", 4)
+        graph = rmat(8, edge_factor=4, seed=7)
+        cluster = make_cluster(topology_by_name("T2(4,1)", 8))
+        plan = contiguous_range_plan(graph, cluster.topology, 4, seed=7,
+                                     offsets=store.vertex_starts)
+        surfer = Surfer(graph, cluster, seed=7, plan=plan)
+        job = surfer.run_propagation(APP_REGISTRY["NR"][0](),
+                                     iterations=2, vectorized=True)
+        assert records["xl_tiny_nr"]["makespan_s"] == round(
+            float(job.metrics.response_time), 6)
+        assert records["xl_tiny_nr"]["network_bytes"] == int(
+            job.metrics.network_bytes)
+
+    def test_rss_ceiling_breach_fails(self):
+        from repro.bench.memory import peak_rss_supported
+        from repro.bench.runner import run_experiment
+
+        if not peak_rss_supported():
+            pytest.skip("no peak-RSS mechanism on this host")
+        cfg = parse(SHARD_E2E.replace(
+            "measure_rss = true",
+            "measure_rss = true\n    max_peak_rss_bytes = 1.0"))
+        with pytest.raises(BenchRunError) as exc:
+            run_experiment(cfg, suite="smoke")
+        assert "peak RSS" in str(exc.value)

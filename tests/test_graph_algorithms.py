@@ -159,3 +159,27 @@ class TestTwoHop:
         assert two_hop_neighbors(g, 1) == {1, 2}
         # 3 receives 1's list {3}
         assert two_hop_neighbors(g, 3) == {3}
+
+
+class TestTrianglesVectorizedParity:
+    """The merge-based fast path must reproduce the per-vertex oracle."""
+
+    def cases(self):
+        from repro.graph.generators import erdos_renyi, rmat, small_world
+
+        yield Graph.empty(5)
+        yield ring(6)
+        yield grid(4, 4)
+        yield star(7)
+        yield Graph.from_edges(
+            [(a, b) for a in range(5) for b in range(5) if a != b],
+            num_vertices=5)
+        yield rmat(7, edge_factor=6, seed=3)
+        yield erdos_renyi(60, 300, seed=1)
+        yield small_world(80, k=5, rewire_p=0.2, seed=4)
+
+    def test_matches_reference(self):
+        from repro.graph.algorithms import _count_triangles_reference
+
+        for g in self.cases():
+            assert count_triangles(g) == _count_triangles_reference(g)

@@ -139,3 +139,38 @@ class TestDerived:
     def test_equality(self):
         assert simple_graph() == simple_graph()
         assert simple_graph() != Graph.empty(4)
+
+
+class TestChunkedIngest:
+    """``from_edges`` consumes iterables in chunks: no ``list(edges)``."""
+
+    def test_generator_matches_array(self):
+        rng = np.random.default_rng(11)
+        arr = rng.integers(0, 500, size=(200_000, 2), dtype=np.int64)
+        from_gen = Graph.from_edges((tuple(row) for row in arr.tolist()),
+                                    num_vertices=500)
+        from_arr = Graph.from_edges(arr, num_vertices=500)
+        assert from_gen == from_arr
+
+    def test_generator_with_dedup(self):
+        pairs = [(0, 1), (1, 2), (0, 1), (2, 2)]
+        g = Graph.from_edges(iter(pairs), dedup=True,
+                             drop_self_loops=True)
+        assert g.num_edges == 2
+
+    def test_empty_generator(self):
+        g = Graph.from_edges(iter(()), num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_ragged_iterable_rejected(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(iter([(0, 1), (2,)]))
+
+
+class TestOutIndicesRange:
+    def test_matches_slice(self):
+        g = simple_graph()
+        np.testing.assert_array_equal(g.out_indices_range(1, 3),
+                                      g.out_indices[1:3])
+        assert g.out_indices_range(0, 0).size == 0

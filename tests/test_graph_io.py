@@ -2,6 +2,7 @@
 
 import io
 
+import numpy as np
 import pytest
 
 from repro.errors import GraphFormatError
@@ -96,3 +97,39 @@ class TestSizing:
         total = sum(adjacency_record_bytes(g.out_degree(v))
                     for v in range(g.num_vertices))
         assert graph_storage_bytes(g) == total
+
+
+class TestBinaryMmap:
+    def test_mmap_roundtrip(self, tmp_path):
+        from repro.graph.io import write_adjacency_binary
+        path = tmp_path / "g.bin"
+        write_adjacency_binary(sample(), path)
+        g = read_adjacency_binary(path, mmap=True)
+        assert g == sample()
+
+        def backed_by_memmap(a):
+            # Graph.__init__'s asarray strips the subclass but keeps
+            # the file-backed buffer: walk .base to find the memmap
+            while a is not None and not isinstance(a, np.memmap):
+                a = a.base
+            return isinstance(a, np.memmap)
+
+        assert backed_by_memmap(g.out_indptr)
+        assert backed_by_memmap(g.out_indices)
+
+    def test_mmap_requires_a_path(self):
+        buf = io.BytesIO()
+        from repro.graph.io import write_adjacency_binary
+        write_adjacency_binary(sample(), buf)
+        buf.seek(0)
+        with pytest.raises(GraphFormatError):
+            read_adjacency_binary(buf, mmap=True)
+
+    def test_mmap_rejects_truncation(self, tmp_path):
+        from repro.graph.io import write_adjacency_binary
+        path = tmp_path / "g.bin"
+        write_adjacency_binary(sample(), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-4])
+        with pytest.raises(GraphFormatError):
+            read_adjacency_binary(path, mmap=True)

@@ -1,0 +1,168 @@
+"""Streaming generators: bit-identity with their in-memory twins.
+
+The whole out-of-core story (ISSUE 9) rests on one contract: for equal
+seeds, the chunked emitters in :mod:`repro.graph.stream` produce the
+*same edge sequence* as the in-memory generators — so a graph built
+through the shard store is bit-identical to one built in RAM, and every
+downstream result (outputs, cost counters) matches exactly.  These
+tests pin that contract:
+
+* raw-sequence invariance: the concatenated chunk stream is identical
+  for every chunk size (the emitters re-derive RNG state per chunk, so
+  chunking must be invisible);
+* graph-level bit-identity: ``Graph.from_edges`` over the stream equals
+  the in-memory generator's graph, CSR arrays and all;
+* re-enterability: ``chunks()`` returns a fresh, identical iterator
+  each time (the count-then-scatter store build consumes it twice);
+* edge cases: empty streams, single-chunk streams, seed validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph
+from repro.graph.generators import rmat, small_world, web_feeder_graph
+from repro.graph.stream import (
+    EdgeStream,
+    stream_from_edges,
+    stream_rmat,
+    stream_small_world,
+    stream_web_feeder,
+)
+
+CHUNK_SIZES = (997, 4096, 1 << 30)
+
+
+def collect(stream: EdgeStream) -> np.ndarray:
+    """The stream's full (m, 2) edge array, in emission order."""
+    parts = [np.stack([src, dst], axis=1)
+             for src, dst in stream.chunks()]
+    if not parts:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.concatenate(parts, axis=0)
+
+
+def graph_of(stream: EdgeStream) -> Graph:
+    return Graph.from_edges(collect(stream),
+                            num_vertices=stream.num_vertices,
+                            dedup=True, drop_self_loops=True)
+
+
+class TestChunkInvariance:
+    """The emitted sequence must not depend on the chunk size."""
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_rmat(self, seed):
+        ref = collect(stream_rmat(10, edge_factor=6, seed=seed,
+                                  chunk_size=CHUNK_SIZES[-1]))
+        for chunk in CHUNK_SIZES[:-1]:
+            got = collect(stream_rmat(10, edge_factor=6, seed=seed,
+                                      chunk_size=chunk))
+            np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_small_world(self, seed):
+        ref = collect(stream_small_world(1500, k=5, rewire_p=0.2,
+                                         seed=seed,
+                                         chunk_size=CHUNK_SIZES[-1]))
+        for chunk in CHUNK_SIZES[:-1]:
+            got = collect(stream_small_world(1500, k=5, rewire_p=0.2,
+                                             seed=seed, chunk_size=chunk))
+            np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_web_feeder(self, seed):
+        ref = collect(stream_web_feeder(64, 900, seed=seed,
+                                        chunk_size=CHUNK_SIZES[-1]))
+        for chunk in CHUNK_SIZES[:-1]:
+            got = collect(stream_web_feeder(64, 900, seed=seed,
+                                            chunk_size=chunk))
+            np.testing.assert_array_equal(got, ref)
+
+    def test_chunks_respect_requested_size(self):
+        stream = stream_rmat(10, edge_factor=6, seed=0, chunk_size=1000)
+        sizes = [src.size for src, _ in stream.chunks()]
+        assert all(s == 1000 for s in sizes[:-1])
+        assert 0 < sizes[-1] <= 1000
+        assert sum(sizes) == stream.num_edges
+
+
+class TestGeneratorParity:
+    """Streamed graphs equal the in-memory generators bit for bit."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 2010])
+    def test_rmat(self, seed):
+        streamed = graph_of(stream_rmat(9, edge_factor=8, seed=seed,
+                                        chunk_size=777))
+        assert streamed == rmat(9, edge_factor=8, seed=seed)
+
+    def test_rmat_nondefault_skew(self):
+        streamed = graph_of(stream_rmat(8, edge_factor=4, a=0.45, b=0.25,
+                                        c=0.2, seed=3, chunk_size=100))
+        assert streamed == rmat(8, edge_factor=4, a=0.45, b=0.25, c=0.2,
+                                seed=3)
+
+    @pytest.mark.parametrize("seed", [0, 7, 2010])
+    def test_small_world(self, seed):
+        streamed = graph_of(stream_small_world(800, k=6, rewire_p=0.1,
+                                               seed=seed, chunk_size=513))
+        assert streamed == small_world(800, k=6, rewire_p=0.1, seed=seed)
+
+    def test_small_world_k_clamped(self):
+        streamed = graph_of(stream_small_world(4, k=10, seed=1,
+                                               chunk_size=2))
+        assert streamed == small_world(4, k=10, seed=1)
+
+    @pytest.mark.parametrize("seed", [0, 7, 2010])
+    def test_web_feeder(self, seed):
+        streamed = graph_of(stream_web_feeder(32, 480, seed=seed,
+                                              chunk_size=301))
+        assert streamed == web_feeder_graph(32, 480, seed=seed)
+
+    def test_web_feeder_nondefault_shape(self):
+        streamed = graph_of(stream_web_feeder(
+            16, 100, chords_per_vertex=5, feeder_degree=3, seed=9,
+            chunk_size=64))
+        assert streamed == web_feeder_graph(16, 100, chords_per_vertex=5,
+                                            feeder_degree=3, seed=9)
+
+
+class TestStreamBasics:
+    def test_chunks_reenterable(self):
+        stream = stream_rmat(8, edge_factor=4, seed=5, chunk_size=100)
+        np.testing.assert_array_equal(collect(stream), collect(stream))
+
+    def test_metadata(self):
+        stream = stream_rmat(8, edge_factor=4, seed=0)
+        assert stream.num_vertices == 256
+        assert stream.num_edges == 256 * 4
+        assert collect(stream).shape == (stream.num_edges, 2)
+
+    def test_generator_seed_rejected(self):
+        # streams re-derive RNG state per chunk; a shared Generator
+        # would make the sequence depend on consumption order
+        rng = np.random.default_rng(0)
+        with pytest.raises(GraphError):
+            stream_rmat(8, seed=rng)
+        with pytest.raises(GraphError):
+            stream_small_world(10, seed=rng)
+        with pytest.raises(GraphError):
+            stream_web_feeder(8, 4, seed=rng)
+
+    def test_from_edges_stream(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0], [0, 1]], dtype=np.int64)
+        stream = stream_from_edges(edges, num_vertices=3, chunk_size=2)
+        np.testing.assert_array_equal(collect(stream), edges)
+        assert [s.size for s, _ in stream.chunks()] == [2, 2]
+
+    def test_empty_stream(self):
+        stream = stream_from_edges(np.zeros((0, 2), dtype=np.int64),
+                                   num_vertices=4)
+        assert stream.num_edges == 0
+        assert collect(stream).shape == (0, 2)
+        g = graph_of(stream)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
