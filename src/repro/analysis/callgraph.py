@@ -1,0 +1,249 @@
+"""Project-wide symbol table and call graph (pure stdlib ``ast``).
+
+The interprocedural passes (:mod:`repro.analysis.taint`) need to answer
+one question the per-file lints cannot: *which function does this call
+site reach?*  This module builds the index that answers it:
+
+* a :class:`ModuleIndex` per scanned ``repro`` module — its top-level
+  functions, classes (with methods and base names) and import aliases;
+* a :class:`ProjectIndex` over all of them, keyed by dotted qualified
+  name (``repro.graph.store.ShardStore.shard_indices``), with
+  :meth:`ProjectIndex.resolve_call` mapping a call-site AST node to the
+  :class:`FunctionInfo` it reaches.
+
+Resolution is deliberately conservative: plain-name calls to same-module
+or ``from``-imported functions, ``self.method`` within a class (walking
+known base classes), and ``module_alias.func`` attribute calls.  A call
+that cannot be proven to reach a known function resolves to ``None`` —
+the taint pass never guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleIndex",
+    "ProjectIndex",
+    "module_path",
+    "dotted_module",
+    "build_project_index",
+]
+
+
+def module_path(path: str) -> str | None:
+    """Path relative to the ``repro`` package, or None if outside it.
+
+    Mirrors the determinism pass's scoping helper so every pass agrees
+    on what is "inside the package".
+    """
+    norm = path.replace("\\", "/")
+    marker = "repro/"
+    idx = norm.rfind(marker)
+    if idx < 0:
+        return None
+    return norm[idx + len(marker):]
+
+
+def dotted_module(path: str) -> str | None:
+    """Dotted module name (``repro.graph.store``) for a repo path."""
+    mod = module_path(path)
+    if mod is None or not mod.endswith(".py"):
+        return None
+    parts = mod[:-3].split("/")
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(["repro", *parts]) if parts else "repro"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    qname: str
+    module: str
+    path: str
+    name: str
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods plus (unresolved) base names."""
+
+    qname: str
+    module: str
+    name: str
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleIndex:
+    """Symbols and import aliases of one scanned module."""
+
+    module: str
+    path: str
+    tree: ast.Module
+    #: local alias -> dotted module name (``import repro.hashing as h``)
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    #: local name -> dotted qname (``from repro.hashing import stable_hash``)
+    from_imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def _resolve_relative(module: str, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted module for a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    # level=1 strips the module's own name, each extra level one package
+    if node.level > len(parts):
+        return None
+    base = parts[: len(parts) - node.level]
+    if node.module:
+        base.append(node.module)
+    return ".".join(base) if base else None
+
+
+def _index_module(path: str, tree: ast.Module, module: str) -> ModuleIndex:
+    idx = ModuleIndex(module=module, path=path, tree=tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                idx.import_aliases[alias.asname
+                                   or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            target = _resolve_relative(module, node)
+            if target is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                idx.from_imports[alias.asname or alias.name] = (
+                    f"{target}.{alias.name}")
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qname = f"{module}.{node.name}"
+            idx.functions[node.name] = FunctionInfo(
+                qname, module, path, node.name, None, node)
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(f"{module}.{node.name}", module, node.name)
+            for base in node.bases:
+                if isinstance(base, ast.Name):
+                    cls.bases.append(base.id)
+                elif isinstance(base, ast.Attribute):
+                    cls.bases.append(base.attr)
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = FunctionInfo(
+                        f"{cls.qname}.{item.name}", module, path,
+                        item.name, node.name, item)
+            idx.classes[node.name] = cls
+    return idx
+
+
+@dataclass
+class ProjectIndex:
+    """The cross-module symbol table the interprocedural passes query."""
+
+    modules: dict[str, ModuleIndex] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_source(self, path: str, source: str) -> None:
+        """Index one file (ignored when outside the ``repro`` package
+        or unparsable — parse errors surface as E999 elsewhere)."""
+        module = dotted_module(path)
+        if module is None:
+            return
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return
+        idx = _index_module(path, tree, module)
+        self.modules[module] = idx
+        for info in idx.functions.values():
+            self.functions[info.qname] = info
+        for cls in idx.classes.values():
+            self.classes[cls.qname] = cls
+            for info in cls.methods.values():
+                self.functions[info.qname] = info
+
+    # ------------------------------------------------------------------
+    def _base_class(self, mod: ModuleIndex, name: str) -> ClassInfo | None:
+        """Resolve a base-class *name* as written in ``mod``."""
+        if name in mod.classes:
+            return mod.classes[name]
+        qname = mod.from_imports.get(name)
+        if qname is not None:
+            return self.classes.get(qname)
+        return None
+
+    def _method_on(self, mod: ModuleIndex, cls: ClassInfo,
+                   method: str, depth: int = 0) -> FunctionInfo | None:
+        """``cls.method`` walking known base classes (bounded depth)."""
+        if method in cls.methods:
+            return cls.methods[method]
+        if depth >= 4:
+            return None
+        for base_name in cls.bases:
+            base = self._base_class(mod, base_name)
+            if base is None:
+                continue
+            base_mod = self.modules.get(base.module)
+            if base_mod is None:
+                continue
+            found = self._method_on(base_mod, base, method, depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def resolve_call(self, call: ast.Call, module: str,
+                     cls: str | None = None) -> FunctionInfo | None:
+        """The function a call site provably reaches, or None."""
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in mod.functions:
+                return mod.functions[func.id]
+            qname = mod.from_imports.get(func.id)
+            if qname is not None:
+                return self.functions.get(qname)
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            recv = func.value.id
+            if recv in ("self", "cls") and cls is not None:
+                owner = mod.classes.get(cls)
+                if owner is not None:
+                    return self._method_on(mod, owner, func.attr)
+                return None
+            target_module = mod.import_aliases.get(recv)
+            if target_module is None:
+                # ``from repro.graph import store`` binds a module too
+                maybe = mod.from_imports.get(recv)
+                if maybe is not None and maybe in {
+                    m for m in self.modules
+                }:
+                    target_module = maybe
+            if target_module is not None:
+                return self.functions.get(f"{target_module}.{func.attr}")
+        return None
+
+
+def build_project_index(sources: dict[str, str]) -> ProjectIndex:
+    """Index ``{path: source}`` into one :class:`ProjectIndex`."""
+    index = ProjectIndex()
+    for path in sorted(sources):
+        index.add_source(path, sources[path])
+    return index

@@ -41,6 +41,11 @@ RULES: dict[str, str] = {
               "partitioning or shuffle order without sorted()",
     "DET004": "wall clock (time.time/perf_counter) inside a "
               "simulated-time region (use runtime.events.wall_timer)",
+    "DET005": "call into a helper whose return value carries "
+              "nondeterminism (hash/id, unseeded RNG, wall clock, "
+              "unordered set order) across a function boundary",
+    "DET006": "function default argument evaluates a nondeterminism "
+              "source at import time",
     "UDF001": "impure UDF body (I/O, global mutation, or a "
               "nondeterministic call in transfer/combine/map/reduce)",
     "UDF002": "combine/merge contract violation (not associative, not "
@@ -53,6 +58,15 @@ RULES: dict[str, str] = {
               "incremented by any scanned module",
     "TYP001": "missing parameter/return annotation in a strict-typed "
               "module",
+    "OOC001": "O(graph) materialization of a memmap/shard-served value "
+              "(np.asarray/np.array/.tolist/.copy on a whole-graph "
+              "receiver)",
+    "OOC002": "in-place write into a read-only-intent memmap slice "
+              "(shared pages; mutation corrupts every reader)",
+    "OOC003": "shard-backed Graph subclass without a raising "
+              "GraphError guard on the whole-graph accessor",
+    "SUP001": "stale '# repro: ignore[...]' marker: the suppressed "
+              "rule no longer fires on that line",
     "E999": "source failed to parse (no other rule can run)",
 }
 

@@ -1,13 +1,17 @@
 """``repro check`` orchestration: discover files, run every pass.
 
 One :func:`check_paths` call is the whole gate: determinism lints
-(DET001–DET004), UDF purity (UDF001), annotation completeness
-(TYP001) and counter-use collection run per file; the cross-file
-passes (CNT001/CNT002 against ``CANONICAL_COUNTERS``, the dynamic
-UDF002/PAR001 contract verification over the app registries) run once
-over the accumulated state.  CNT002 ("registered but never touched")
-only fires when the scan actually covered the runtime tree — a partial
-path list cannot prove a counter is unused.
+(DET001–DET004), out-of-core safety (OOC001–OOC003), UDF purity
+(UDF001), annotation completeness (TYP001) and counter-use collection
+run per file; the cross-file passes run once over the accumulated
+state — interprocedural taint (DET005/DET006) over the project call
+graph, CNT001/CNT002 against ``CANONICAL_COUNTERS``, the dynamic
+UDF002/PAR001 contract verification over the app registries, and
+finally SUP001, which re-audits every inline suppression marker
+against everything the other passes produced (a marker that no longer
+suppresses anything is itself a finding).  CNT002 ("registered but
+never touched") only fires when the scan actually covered the runtime
+tree — a partial path list cannot prove a counter is unused.
 """
 
 from __future__ import annotations
@@ -15,7 +19,15 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.analysis import contracts, counters, determinism, typing_gate
+from repro.analysis import (
+    contracts,
+    counters,
+    determinism,
+    oocsafety,
+    taint,
+    typing_gate,
+)
+from repro.analysis.callgraph import build_project_index
 from repro.analysis.findings import (
     Finding,
     apply_suppressions,
@@ -24,7 +36,8 @@ from repro.analysis.findings import (
     render_findings,
 )
 
-__all__ = ["CheckReport", "iter_python_files", "check_paths"]
+__all__ = ["CheckReport", "iter_python_files", "check_paths",
+           "check_stale_suppressions"]
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules",
                         ".mypy_cache", ".ruff_cache", ".pytest_cache"})
@@ -87,6 +100,45 @@ def iter_python_files(paths: list[str]) -> list[str]:
     return sorted(set(out))
 
 
+def check_stale_suppressions(
+    findings: list[Finding],
+    suppressions: dict[str, dict[int, set[str]]],
+) -> list[Finding]:
+    """SUP001: every inline marker must still suppress something.
+
+    A marker rule is *stale* when no suppressed finding with that rule
+    sits on its line after every other pass has run; a ``*`` marker is
+    stale when nothing at all is suppressed on its line.  A stale
+    marker is worse than dead weight — it silently waives whatever
+    future finding lands on that line.  SUP001 findings can only be
+    waived by an explicit ``SUP001`` marker (never by ``*``, which
+    would let a stale ``*`` hide itself).
+    """
+    covered: dict[tuple[str, int], set[str]] = {}
+    for f in findings:
+        if f.suppressed:
+            covered.setdefault((f.path, f.line), set()).add(f.rule)
+    out: list[Finding] = []
+    for path in sorted(suppressions):
+        for line in sorted(suppressions[path]):
+            rules = suppressions[path][line]
+            hit = covered.get((path, line), set())
+            stale = sorted(r for r in rules
+                           if r not in ("*", "SUP001") and r not in hit)
+            if "*" in rules and not hit:
+                stale.append("*")
+            if not stale:
+                continue
+            out.append(Finding(
+                "SUP001", path, line,
+                f"stale suppression marker [{', '.join(stale)}]: the "
+                "rule no longer fires on this line — remove or update "
+                "the marker before it silently waives a future finding",
+                suppressed="SUP001" in rules,
+            ))
+    return out
+
+
 def check_paths(
     paths: list[str],
     *,
@@ -97,6 +149,7 @@ def check_paths(
     """Run the full static-analysis gate over ``paths``."""
     report = CheckReport()
     uses: list[counters.CounterUse] = []
+    sources: dict[str, str] = {}
     suppressions: dict[str, dict[int, set[str]]] = {}
     saw_registry = False
 
@@ -109,19 +162,24 @@ def check_paths(
                 Finding("E999", path, 1, f"unreadable source ({exc})"))
             continue
         report.files_scanned += 1
+        sources[path] = source
+        suppressions[path] = collect_suppressions(source)
         norm = path.replace("\\", "/")
         report.findings.extend(determinism.lint_source(source, path))
         report.findings.extend(contracts.check_udf_purity(source, path))
+        report.findings.extend(oocsafety.check_ooc_safety(source, path))
         if typing_pass:
             report.findings.extend(
                 typing_gate.check_annotations(source, path))
         if counters_pass:
-            file_uses = counters.collect_counter_uses(source, path)
-            uses.extend(file_uses)
-            if file_uses:
-                suppressions[path] = collect_suppressions(source)
+            uses.extend(counters.collect_counter_uses(source, path))
             if norm.endswith("repro/runtime/events.py"):
                 saw_registry = True
+
+    # interprocedural taint over the project call graph (only package
+    # modules index; test files merely provide suppression context)
+    index = build_project_index(sources)
+    report.findings.extend(taint.check_taint(index, sources))
 
     if counters_pass:
         for f in counters.check_counter_uses(uses):
@@ -135,5 +193,9 @@ def check_paths(
     if contracts_pass:
         report.findings.extend(contracts.verify_registered_apps())
         report.contracts_ran = True
+
+    # SUP001 runs last: it audits the markers against every pass above
+    report.findings.extend(
+        check_stale_suppressions(report.findings, suppressions))
 
     return report

@@ -48,8 +48,10 @@ RECORD_FIELDS = (
 
 #: optional per-record keys — present only where the runner measured
 #: them (``peak_rss_bytes``: real process peak RSS around the run, the
-#: out-of-core benchmarks' bounded-memory claim)
-OPTIONAL_RECORD_FIELDS = ("peak_rss_bytes",)
+#: out-of-core benchmarks' bounded-memory claim; ``rss_degraded``:
+#: boolean flag set when the RSS sampling thread failed to shut down
+#: cleanly, so the measurement is a coarser lower bound than usual)
+OPTIONAL_RECORD_FIELDS = ("peak_rss_bytes", "rss_degraded")
 
 __all__ = ["SCHEMA", "RECORD_FIELDS", "OPTIONAL_RECORD_FIELDS",
            "job_record", "write_bench_json", "validate_bench_json",
@@ -76,11 +78,14 @@ def _messages_shipped(registry) -> float:
 
 
 def job_record(job, wall_clock_s: float,
-               peak_rss_bytes: int | None = None) -> dict:
+               peak_rss_bytes: int | None = None,
+               rss_degraded: bool = False) -> dict:
     """One workload record from a finished :class:`JobResult`.
 
     ``peak_rss_bytes``, when the runner measured it, is recorded as an
-    optional field (see :data:`OPTIONAL_RECORD_FIELDS`).
+    optional field (see :data:`OPTIONAL_RECORD_FIELDS`);
+    ``rss_degraded`` is only recorded when True, and marks an RSS
+    number measured under a misbehaving sampler.
     """
     metrics = job.metrics
     registry = job.events.metrics if job.events is not None else None
@@ -99,6 +104,8 @@ def job_record(job, wall_clock_s: float,
     }
     if peak_rss_bytes is not None:
         record["peak_rss_bytes"] = int(peak_rss_bytes)
+    if rss_degraded:
+        record["rss_degraded"] = True
     return record
 
 
@@ -146,6 +153,11 @@ def validate_bench_json(doc) -> list[str]:
             errors.append(f"workload {name!r} has unknown fields {extra}")
         for f in RECORD_FIELDS + OPTIONAL_RECORD_FIELDS:
             value = record.get(f)
+            if f == "rss_degraded":
+                # the one non-numeric field: a marker, not a measurement
+                if f in record and not isinstance(value, bool):
+                    errors.append(f"workload {name!r}.{f} is not a boolean")
+                continue
             # bool is an int subclass; True/False are not measurements
             if f in record and (isinstance(value, bool)
                                 or not isinstance(value, (int, float))):

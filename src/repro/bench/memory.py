@@ -19,13 +19,34 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Callable
 
-__all__ = ["measure_peak_rss", "current_rss_bytes", "peak_rss_supported"]
+__all__ = ["RssMeasurement", "measure_peak_rss", "current_rss_bytes",
+           "peak_rss_supported"]
 
 _STATUS = "/proc/self/status"
 _CLEAR_REFS = "/proc/self/clear_refs"
 _SAMPLE_INTERVAL_S = 0.05
+#: how long to wait for the sampling thread to wind down before giving
+#: up and marking the measurement degraded (it is a daemon thread, so a
+#: stuck /proc read can't hang the benchmark run itself)
+_JOIN_TIMEOUT_S = 2.0
+
+
+@dataclass(frozen=True)
+class RssMeasurement:
+    """Outcome of one peak-RSS measurement.
+
+    ``bytes`` is ``None`` when no mechanism worked.  ``degraded`` marks
+    a sampled measurement whose sampler did not shut down cleanly — the
+    number is still a valid lower bound, but late samples from the
+    runaway thread were discarded, so it is flagged in the bench record
+    rather than silently reported as exact.
+    """
+
+    bytes: int | None
+    degraded: bool = False
 
 
 def _read_status_kib(field: str) -> int | None:
@@ -65,21 +86,23 @@ def peak_rss_supported() -> bool:
     return current_rss_bytes() is not None
 
 
-def measure_peak_rss(fn: Callable[[], Any]) -> tuple[Any, int | None]:
-    """Run ``fn()`` and return ``(result, peak RSS bytes during it)``.
+def measure_peak_rss(fn: Callable[[], Any]) -> tuple[Any, RssMeasurement]:
+    """Run ``fn()`` and return ``(result, RssMeasurement)``.
 
     Peak is ``None`` when no mechanism worked.  Preference order:
     kernel high-water mark (reset via ``clear_refs``, exact), then a
     50 ms sampling thread (lower bound; short spikes can slip between
-    samples).
+    samples).  The sampling thread is joined with a bounded timeout: a
+    sampler wedged on a /proc read marks the measurement ``degraded``
+    instead of hanging the benchmark.
     """
     if _reset_peak() and _peak_rss_bytes() is not None:
         result = fn()
-        return result, _peak_rss_bytes()
+        return result, RssMeasurement(bytes=_peak_rss_bytes())
 
     baseline = current_rss_bytes()
     if baseline is None:
-        return fn(), None
+        return fn(), RssMeasurement(bytes=None)
     peak = baseline
     stop = threading.Event()
 
@@ -97,8 +120,9 @@ def measure_peak_rss(fn: Callable[[], Any]) -> tuple[Any, int | None]:
         result = fn()
     finally:
         stop.set()
-        thread.join()
+        thread.join(timeout=_JOIN_TIMEOUT_S)
+    degraded = thread.is_alive()
     final = current_rss_bytes()
     if final is not None and final > peak:
         peak = final
-    return result, peak
+    return result, RssMeasurement(bytes=peak, degraded=degraded)

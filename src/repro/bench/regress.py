@@ -151,6 +151,10 @@ def compare_records(
         pr, baseline = baselines[name]
         overrides = (per_workload or {}).get(name, {})
         for metric in RECORD_FIELDS + OPTIONAL_RECORD_FIELDS:
+            if metric not in DEFAULT_TOLERANCES:
+                # non-numeric markers (rss_degraded) carry no tolerance
+                # and cannot regress
+                continue
             if metric in OPTIONAL_RECORD_FIELDS and (
                     metric not in baseline or metric not in current[name]):
                 # optional metrics gate only when measured on both sides:

@@ -840,9 +840,11 @@ def _run_jobs_experiment(
                 )
 
             peak: int | None = None
+            rss_degraded = False
             if wl.measure_rss:
-                (job, wall), peak = measure_peak_rss(
+                (job, wall), rss = measure_peak_rss(
                     lambda run=run: timed_min_of_n(run, repetitions))
+                peak, rss_degraded = rss.bytes, rss.degraded
                 if (wl.max_peak_rss_bytes is not None and peak is not None
                         and peak > wl.max_peak_rss_bytes):
                     raise BenchRunError(
@@ -863,10 +865,12 @@ def _run_jobs_experiment(
                     + "; ".join(issues)
                 )
             records[wl.name] = job_record(job, wall,
-                                          peak_rss_bytes=peak)
+                                          peak_rss_bytes=peak,
+                                          rss_degraded=rss_degraded)
             if progress is not None:
                 rss = ("" if peak is None
-                       else f", peak RSS {peak / 2**20:,.0f} MiB")
+                       else f", peak RSS {peak / 2**20:,.0f} MiB"
+                       + (" (degraded)" if rss_degraded else ""))
                 progress(f"  {wl.name}: makespan "
                          f"{records[wl.name]['makespan_s']:,.1f}s sim, "
                          f"wall {wall:.3f}s (min of {repetitions})"

@@ -27,6 +27,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.apps import APP_ORDER, EXTENSION_APPS
@@ -79,6 +80,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="M@T",
                        help="kill machine M at simulated time T "
                             "(repeatable), e.g. --kill 3@10.5")
+        p.add_argument("--sanitize", action="store_true",
+                       help="run under SimSan: BSP write-race detection, "
+                            "shadow-counter conservation and span-frame "
+                            "checks (observe-only; also enabled by "
+                            "REPRO_SANITIZE=1)")
 
     run = sub.add_parser("run", help="run one application")
     add_job_options(run)
@@ -236,6 +242,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "history (default: cwd)")
     bench.add_argument("--list", action="store_true",
                        help="list the discovered configs and exit")
+    bench.add_argument("--sanitize", action="store_true",
+                       help="run every workload under SimSan (sets "
+                            "REPRO_SANITIZE=1 for the suite); any "
+                            "violation fails the run")
 
     check = sub.add_parser(
         "check",
@@ -316,6 +326,8 @@ def _deploy_and_run(args):
         policy = CheckpointPolicy(interval=args.checkpoint_interval,
                                   max_restarts=args.max_restarts)
     timer = wall_timer()
+    # True opts in; None defers to the REPRO_SANITIZE environment switch
+    sanitize = True if args.sanitize else None
     if args.engine == "mapreduce":
         if mr_cls is None:
             print(f"{args.app} has no MapReduce implementation",
@@ -328,7 +340,8 @@ def _deploy_and_run(args):
         job = surfer.run_mapreduce(mr_cls(), rounds=iterations,
                                    until_convergence=until,
                                    fault_plan=fault_plan,
-                                   checkpoint=policy)
+                                   checkpoint=policy,
+                                   sanitize=sanitize)
     else:
         job = surfer.run_propagation(
             prop_cls(), iterations=iterations,
@@ -337,6 +350,7 @@ def _deploy_and_run(args):
             fault_plan=fault_plan,
             checkpoint=policy,
             frontier=args.frontier,
+            sanitize=sanitize,
         )
     return job, timer.elapsed()
 
@@ -688,7 +702,7 @@ def _cmd_bench(args) -> int:
         render_html,
         render_markdown,
     )
-    from repro.errors import BenchConfigError, BenchRunError
+    from repro.errors import BenchConfigError, BenchRunError, SanitizerError
 
     try:
         configs = discover_configs(args.configs)
@@ -705,11 +719,19 @@ def _cmd_bench(args) -> int:
                   f"{workloads} workload(s) — {cfg.description}")
         return 0
 
+    if args.sanitize:
+        # the suite builds its jobs deep inside run_suite; the
+        # environment switch is the one knob every engine entry point
+        # already honours
+        os.environ["REPRO_SANITIZE"] = "1"
     try:
         result = run_suite(args.suite, config_dir=args.configs,
                            repetitions=args.repetitions, progress=print)
     except (BenchConfigError, BenchRunError) as exc:
         print(f"bench run failed: {exc}", file=sys.stderr)
+        return 2
+    except SanitizerError as exc:
+        print(f"sanitizer violation: {exc}", file=sys.stderr)
         return 2
     if not result.records:
         print(f"suite {args.suite!r} selected no workloads",

@@ -275,7 +275,7 @@ class RangePartitionedGraph:
             elo, ehi = int(indptr[vlo]), int(indptr[vhi])
             if ehi == elo:
                 continue
-            dst = np.asarray(graph.out_indices_range(elo, ehi))
+            dst = np.asarray(graph.out_indices_range(elo, ehi))  # repro: ignore[OOC001] -- bounded O(partition) chunk, not O(graph)
             dst_parts = np.searchsorted(offsets, dst, side="right") - 1
             cross = dst_parts != p
             if not cross.any():

@@ -56,6 +56,7 @@ from repro.propagation.cascade import (
 from repro.propagation.engine import IterationReport, PropagationEngine
 from repro.runtime.checkpoint import CheckpointPolicy, CheckpointStore
 from repro.runtime.events import EventStream
+from repro.runtime.sanitizer import Sanitizer, sanitize_enabled
 from repro.runtime.scheduler import StageScheduler
 from repro.runtime.tasks import RecoveryEvent, TaskExecution
 
@@ -205,6 +206,7 @@ class Surfer:
         vectorized: bool | None = None,
         checkpoint: CheckpointPolicy | None = None,
         frontier: bool = False,
+        sanitize: bool | None = None,
     ) -> JobResult:
         """Run ``iterations`` of propagation; returns the app's result.
 
@@ -228,7 +230,11 @@ class Surfer:
         results and same ``propagation.*`` counters as the dense run,
         but transfer reads shrink to the frontier slice (with top-down/
         bottom-up direction switching) and per-partition frontier
-        summaries are exchanged over the network.
+        summaries are exchanged over the network.  ``sanitize``
+        attaches SimSan (the observe-only runtime sanitizer: write-race
+        detection, per-superstep shadow counter reconciliation, span
+        discipline); None defers to the ``REPRO_SANITIZE`` environment
+        variable.
         """
         if iterations < 1:
             raise JobError("iterations must be >= 1")
@@ -254,6 +260,7 @@ class Surfer:
                                    pipelined=pipelined,
                                    speculation=speculation,
                                    events=events)
+        self._attach_sanitizer(scheduler, sanitize)
 
         fractions = None
         if cascaded and iterations > 1:
@@ -287,6 +294,7 @@ class Surfer:
         vectorized: bool | None = None,
         combiner: bool = False,
         checkpoint: CheckpointPolicy | None = None,
+        sanitize: bool | None = None,
     ) -> JobResult:
         """Run ``rounds`` of MapReduce; returns the app's result.
 
@@ -299,7 +307,8 @@ class Surfer:
         enables Hadoop-style map-side combining (apps must implement
         ``combine``; plus ``combine_ufunc`` for the fast path) — shuffle
         volume shrinks, cpu charges grow, and the pre-combine volume
-        stays visible on the round reports.
+        stays visible on the round reports.  ``sanitize`` mirrors
+        :meth:`run_propagation`.
         """
         if rounds < 1:
             raise JobError("rounds must be >= 1")
@@ -314,6 +323,7 @@ class Surfer:
                                    pipelined=pipelined,
                                    speculation=speculation,
                                    events=events)
+        self._attach_sanitizer(scheduler, sanitize)
 
         def make_engine() -> MapReduceEngine:
             return MapReduceEngine(self.pgraph, self.store, self.cluster,
@@ -497,6 +507,20 @@ class Surfer:
         if chk is None:
             return 0, None
         return chk.step, ckpt.snapshot_state(chk.state)
+
+    def _attach_sanitizer(self, scheduler: StageScheduler,
+                          sanitize: bool | None) -> None:
+        """Attach SimSan to a fresh scheduler when the run opts in.
+
+        The writable-view audit of the shard-backed graph runs here,
+        before any stage executes, so a mis-served store fails the job
+        at attach time rather than corrupting a run.
+        """
+        if not sanitize_enabled(sanitize):
+            return
+        sanitizer = Sanitizer()
+        sanitizer.check_graph(self.graph)
+        scheduler.sanitizer = sanitizer
 
     def _event_stream(self) -> EventStream:
         """A fresh per-job observability stream, bound to the network.

@@ -71,3 +71,11 @@ class BenchConfigError(SurferError):
 class BenchRunError(SurferError):
     """A benchmark run violated an execution invariant (failed job,
     trace/counter mismatch, nondeterministic simulated metrics)."""
+
+
+class SanitizerError(SurferError):
+    """SimSan (the opt-in runtime sanitizer) detected an invariant
+    violation: a BSP write race, a counter-conservation drift at a
+    superstep boundary, broken span push/pop discipline, or a writable
+    shard view.  Raised at the superstep where the violation occurred,
+    not at job end, so the failing schedule is still in hand."""

@@ -183,7 +183,9 @@ def build_shard_store(
         local_n = hi - lo
         raw_deg = degrees[lo:hi]
         if raw_counts[s]:
-            dst_raw = np.asarray(np.load(raw_paths[s], mmap_mode="r"))
+            # keep the raw shard mapped: lexsort/fancy-indexing below
+            # gather into fresh arrays without pinning a full copy
+            dst_raw = np.load(raw_paths[s], mmap_mode="r")
             rows = np.repeat(np.arange(local_n, dtype=np.int64), raw_deg)
             order = np.lexsort((dst_raw, rows))
             rows_s, dst_s = rows[order], dst_raw[order]
@@ -274,13 +276,20 @@ class ShardStore:
 
     # ------------------------------------------------------------------
     def global_indptr(self) -> np.ndarray:
-        """The full CSR offsets array (O(n) resident, assembled once)."""
+        """The full CSR offsets array (O(n) resident, assembled once).
+
+        The cached array is served read-only: every
+        :class:`ShardBackedGraph` over this store aliases it, so an
+        in-place write would corrupt them all — it fails loudly
+        instead.
+        """
         if self._global_indptr is None:
             indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
             for s in range(self.num_shards):
                 lo, hi = self.vertex_starts[s], self.vertex_starts[s + 1]
                 indptr[lo + 1: hi + 1] = (self._indptrs[s][1:]
                                           + self.edge_offsets[s])
+            indptr.flags.writeable = False
             self._global_indptr = indptr
         return self._global_indptr
 
@@ -306,7 +315,12 @@ class ShardStore:
                 - 1)
 
     def indices_range(self, lo: int, hi: int) -> np.ndarray:
-        """Global edge slots ``[lo, hi)``; zero-copy within one shard."""
+        """Global edge slots ``[lo, hi)``; zero-copy within one shard.
+
+        Always read-only: the single-shard path is a memmap slice
+        (shared pages), and the stitched multi-shard result is locked
+        too so both paths behave identically under mutation.
+        """
         if hi <= lo:
             return np.zeros(0, dtype=np.int64)
         s = int(np.searchsorted(self.edge_offsets, lo, side="right") - 1)
@@ -319,7 +333,9 @@ class ShardStore:
             off = int(self.edge_offsets[s])
             pieces.append(np.asarray(self._indices[s][lo - off: end - off]))
             lo, s = end, s + 1
-        return np.concatenate(pieces)
+        out = np.concatenate(pieces)
+        out.flags.writeable = False
+        return out
 
 
 class ShardBackedGraph(Graph):
@@ -395,7 +411,7 @@ class ShardBackedGraph(Graph):
 
     def to_graph(self) -> Graph:
         """Materialize an in-memory :class:`Graph` (tests, small sizes)."""
-        pieces = [np.asarray(self.store.shard_indices(s))
+        pieces = [np.asarray(self.store.shard_indices(s))  # repro: ignore[OOC001] -- to_graph() is the documented O(m) materialization point
                   for s in range(self.store.num_shards)]
         indices = (np.concatenate(pieces) if pieces
                    else np.zeros(0, dtype=np.int64))
@@ -409,8 +425,8 @@ class ShardBackedGraph(Graph):
         for s in range(self.store.num_shards):
             lo = int(self.store.edge_offsets[s])
             hi = int(self.store.edge_offsets[s + 1])
-            if not np.array_equal(np.asarray(self.store.shard_indices(s)),
-                                  np.asarray(other.out_indices_range(lo, hi))):
+            if not np.array_equal(self.store.shard_indices(s),
+                                  other.out_indices_range(lo, hi)):
                 return False
         return True
 

@@ -495,3 +495,5 @@ class MapReduceEngine:
         m.add("mapreduce.shuffle_bytes_precombine",
               report.shuffle_bytes_precombine)
         m.add("wall.udf_seconds", udf_wall_seconds)
+        if scheduler.sanitizer is not None:
+            scheduler.sanitizer.on_superstep(stream, scheduler.cluster)

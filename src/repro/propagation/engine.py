@@ -313,6 +313,8 @@ class PropagationEngine:
             m.add("frontier.bottom_up_scans",
                   report.frontier_bottom_up_scans)
         m.add("wall.udf_seconds", udf_wall_seconds)
+        if scheduler.sanitizer is not None:
+            scheduler.sanitizer.on_superstep(stream, scheduler.cluster)
 
     # ------------------------------------------------------------------
     # Frontier mode (sparse active sets)

@@ -329,6 +329,74 @@ class EventStream:
         """Total real Python time recorded across all spans."""
         return sum(s.wall_self_seconds for s in self.spans)
 
+    def verify_frame_discipline(self, atol: float = 1e-6) -> list[str]:
+        """Check span push/pop discipline over the emission order.
+
+        The emission contract: machine-level task spans are followed by
+        exactly one ``stage`` span framing them; ``iteration``/``round``
+        spans then frame the work stages of their superstep (checkpoint
+        and restore stages sit *between* supersteps, outside any
+        iteration frame).  A work stage left behind by an aborted
+        superstep is legal only when a checkpoint/restore stage follows
+        it before the next frame (the job-restart path).  Returns
+        human-readable violations; empty means the discipline holds.
+        """
+        problems: list[str] = []
+
+        def is_recovery_stage(span: Span) -> bool:
+            kinds = span.name.split(" ", 1)[-1].split("+")
+            return bool({"checkpoint", "restore"} & set(kinds))
+
+        open_tasks: list[Span] = []
+        pending_stages: list[Span] = []
+        for s in self.spans:
+            if s.end < s.start - atol:
+                problems.append(
+                    f"span {s.name!r} ends before it starts "
+                    f"({s.end!r} < {s.start!r})")
+            if s.machine >= 0:
+                open_tasks.append(s)
+            elif s.kind == "stage":
+                for t in open_tasks:
+                    if (t.start < s.start - atol
+                            or t.end > s.end + atol):
+                        problems.append(
+                            f"task span {t.name!r} "
+                            f"[{t.start!r}, {t.end!r}] escapes its "
+                            f"stage {s.name!r} [{s.start!r}, {s.end!r}]")
+                open_tasks = []
+                pending_stages.append(s)
+            elif s.kind in ("iteration", "round"):
+                if open_tasks:
+                    problems.append(
+                        f"{len(open_tasks)} task span(s) not framed by "
+                        f"a stage before {s.name!r}")
+                    open_tasks = []
+                framed = 0
+                for idx, st in enumerate(pending_stages):
+                    if is_recovery_stage(st):
+                        continue
+                    if (st.end <= s.start + atol
+                            and any(is_recovery_stage(later) for later
+                                    in pending_stages[idx + 1:])):
+                        continue  # aborted pre-restart work
+                    framed += 1
+                    if (st.start < s.start - atol
+                            or st.end > s.end + atol):
+                        problems.append(
+                            f"stage {st.name!r} "
+                            f"[{st.start!r}, {st.end!r}] escapes its "
+                            f"{s.kind} frame {s.name!r} "
+                            f"[{s.start!r}, {s.end!r}]")
+                if not framed:
+                    problems.append(f"{s.name!r} frames no work stage")
+                pending_stages = []
+        if open_tasks:
+            problems.append(
+                f"{len(open_tasks)} task span(s) never framed by a "
+                "stage span")
+        return problems
+
 
 # ----------------------------------------------------------------------
 # Chrome-trace (chrome://tracing, Perfetto) export

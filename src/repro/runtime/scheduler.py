@@ -41,6 +41,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.faults import FaultPlan, Outage
 from repro.cluster.storage import PartitionStore
 from repro.runtime.events import EventStream, Span, wall_timer
+from repro.runtime.sanitizer import Sanitizer
 from repro.runtime.tasks import (
     RecoveryEvent,
     StageResult,
@@ -132,6 +133,9 @@ class StageScheduler:
         self.max_retries = max_retries
         self.re_replication = re_replication
         self.events = events if events is not None else EventStream()
+        #: SimSan hook — attached by the Surfer facade when sanitizing;
+        #: observe-only, so a sanitized run stays bit-identical
+        self.sanitizer: Sanitizer | None = None
         self.executions: list[TaskExecution] = []
         self.recovery_events: list[RecoveryEvent] = []
         self.re_replication_bytes = 0
@@ -200,6 +204,10 @@ class StageScheduler:
             self.executions.extend(stage_execs)
             self._record_stage(tasks, stage_execs, start_time, abort_end,
                                failures, timer.elapsed())
+            if self.sanitizer is not None:
+                # keep the shadow counts conserved across the restart;
+                # the aborted stage's events still barrier for ordering
+                self.sanitizer.on_stage(stage_execs)
             raise
 
         end_time = max(
@@ -212,6 +220,8 @@ class StageScheduler:
         self.executions.extend(stage_execs)
         self._record_stage(tasks, stage_execs, start_time, end_time,
                            failures, timer.elapsed())
+        if self.sanitizer is not None:
+            self.sanitizer.on_stage(stage_execs)
         return StageResult(
             executions=stage_execs,
             start_time=start_time,

@@ -26,13 +26,17 @@ from repro.analysis.counters import (
     check_registry_coverage,
     collect_counter_uses,
 )
+from repro.analysis.callgraph import build_project_index
 from repro.analysis.determinism import lint_source
 from repro.analysis.findings import (
     RULES,
+    Finding,
     collect_suppressions,
     findings_to_json,
 )
-from repro.analysis.runner import check_paths
+from repro.analysis.oocsafety import check_ooc_safety
+from repro.analysis.runner import check_paths, check_stale_suppressions
+from repro.analysis.taint import check_taint, compute_tainted
 from repro.analysis.typing_gate import check_annotations
 from repro.apps import (
     APP_REGISTRY,
@@ -393,6 +397,305 @@ class TestTypingGate:
 
 
 # ---------------------------------------------------------------------------
+# DET005/DET006 — interprocedural taint over the project call graph
+# ---------------------------------------------------------------------------
+
+def taint_findings(sources):
+    return check_taint(build_project_index(sources), sources)
+
+
+KEYS = "src/repro/util/keys.py"
+ROUTE = "src/repro/core/route.py"
+
+
+class TestDet005:
+    def test_laundered_hash_reaches_call_site(self):
+        # the classic hole DET001 alone cannot see: the source lives in
+        # an unscoped utility module, the call site in engine scope
+        fs = taint_findings({
+            KEYS: "def fresh_key(obj):\n    return hash(obj)\n",
+            ROUTE: ("from repro.util.keys import fresh_key\n"
+                    "\n"
+                    "def route(msg, n):\n"
+                    "    return fresh_key(msg) % n\n"),
+        })
+        assert rules_of(fs) == ["DET005"]
+        (f,) = fs
+        assert f.path == ROUTE and f.line == 4
+        assert "fresh_key" in f.message
+
+    def test_transitive_chain_keeps_root_reason(self):
+        fs = taint_findings({
+            KEYS: ("def raw(obj):\n"
+                   "    return hash(obj)\n"
+                   "\n"
+                   "def launder(obj):\n"
+                   "    return raw(obj) + 1\n"),
+            ROUTE: ("from repro.util.keys import launder\n"
+                    "\n"
+                    "def route(msg):\n"
+                    "    return launder(msg)\n"),
+        })
+        assert any(f.rule == "DET005" and "hash()" in f.message
+                   for f in fs)
+
+    def test_suppressed_source_does_not_taint(self):
+        # a reviewed, waived source is by definition not laundered
+        fs = taint_findings({
+            KEYS: ("def fresh_key(obj):\n"
+                   "    return hash(obj)"
+                   "  # repro: ignore[DET001] -- reviewed\n"),
+            ROUTE: ("from repro.util.keys import fresh_key\n"
+                    "\n"
+                    "def route(msg, n):\n"
+                    "    return fresh_key(msg) % n\n"),
+        })
+        assert fs == []
+
+    def test_out_of_scope_caller_not_flagged(self):
+        fs = taint_findings({
+            KEYS: "def fresh_key(obj):\n    return hash(obj)\n",
+            "src/repro/bench/use.py": (
+                "from repro.util.keys import fresh_key\n"
+                "\n"
+                "def label(msg):\n"
+                "    return fresh_key(msg)\n"),
+        })
+        assert fs == []
+
+    def test_dunder_hash_exempt_end_to_end(self):
+        fs = taint_findings({
+            ROUTE: ("def key_of(obj):\n"
+                    "    return hash(obj)\n"
+                    "\n"
+                    "class K:\n"
+                    "    def __hash__(self):\n"
+                    "        return key_of(self)\n"),
+        })
+        assert all(f.rule != "DET005" for f in fs)
+
+    def test_compute_tainted_reports_reason_chain(self):
+        index = build_project_index({
+            KEYS: ("def raw(obj):\n"
+                   "    return hash(obj)\n"
+                   "\n"
+                   "def launder(obj):\n"
+                   "    return raw(obj)\n"),
+        })
+        tainted = compute_tainted(index)
+        assert "process-salted" in tainted["repro.util.keys.raw"]
+        assert tainted["repro.util.keys.launder"].startswith(
+            "via repro.util.keys.raw:")
+
+
+class TestDet006:
+    def test_wall_clock_default_flagged_package_wide(self):
+        # util/ is outside every DET scope, but an import-time default
+        # freezes per process — flagged anywhere in the package
+        fs = taint_findings({
+            KEYS: ("import time\n"
+                   "\n"
+                   "def stamp(t=time.time()):\n"
+                   "    return t\n"),
+        })
+        assert "DET006" in rules_of(fs)
+
+    def test_default_calling_tainted_function_flagged(self):
+        fs = taint_findings({
+            KEYS: ("def fresh():\n"
+                   "    return hash(object())\n"
+                   "\n"
+                   "def g(k=fresh()):\n"
+                   "    return k\n"),
+        })
+        assert any(f.rule == "DET006" and "fresh" in f.message
+                   for f in fs)
+
+    def test_keyword_only_defaults_covered(self):
+        fs = taint_findings({
+            KEYS: ("import time\n"
+                   "\n"
+                   "def stamp(*, t=time.time()):\n"
+                   "    return t\n"),
+        })
+        assert "DET006" in rules_of(fs)
+
+    def test_none_default_clean(self):
+        fs = taint_findings({
+            KEYS: ("import time\n"
+                   "\n"
+                   "def stamp(t=None):\n"
+                   "    return time.time() if t is None else t\n"),
+        })
+        assert all(f.rule != "DET006" for f in fs)
+
+
+# ---------------------------------------------------------------------------
+# OOC001–OOC003 — out-of-core safety
+# ---------------------------------------------------------------------------
+
+USE = "src/repro/graph/use.py"
+
+
+class TestOoc001:
+    def test_asarray_over_memmap_flagged(self):
+        src = ("import numpy as np\n"
+               "\n"
+               "def load(path):\n"
+               "    a = np.load(path, mmap_mode='r')\n"
+               "    return np.asarray(a)\n")
+        assert rules_of(check_ooc_safety(src, USE)) == ["OOC001"]
+
+    def test_tolist_on_shard_accessor_flagged(self):
+        src = ("def dump(store, s):\n"
+               "    view = store.shard_indices(s)\n"
+               "    return view.tolist()\n")
+        assert rules_of(check_ooc_safety(src, USE)) == ["OOC001"]
+
+    def test_eager_load_and_plain_arrays_clean(self):
+        src = ("import numpy as np\n"
+               "\n"
+               "def load(path):\n"
+               "    a = np.load(path)\n"
+               "    b = np.zeros(4)\n"
+               "    return np.asarray(a) + np.asarray(b)\n")
+        assert check_ooc_safety(src, USE) == []
+
+    def test_waiver_honoured(self):
+        src = ("import numpy as np\n"
+               "\n"
+               "def to_graph(path):\n"
+               "    a = np.load(path, mmap_mode='r')\n"
+               "    return np.asarray(a)"
+               "  # repro: ignore[OOC001] -- documented O(m) point\n")
+        fs = check_ooc_safety(src, USE)
+        assert [f.rule for f in fs] == ["OOC001"]
+        assert fs[0].suppressed
+
+    def test_out_of_package_not_scanned(self):
+        src = ("import numpy as np\n"
+               "\n"
+               "def f(p):\n"
+               "    return np.asarray(np.load(p, mmap_mode='r'))\n")
+        assert check_ooc_safety(src, "scripts/tool.py") == []
+
+
+class TestOoc002:
+    def test_write_into_ro_memmap_flagged(self):
+        src = ("import numpy as np\n"
+               "\n"
+               "def patch(path):\n"
+               "    a = np.load(path, mmap_mode='r')\n"
+               "    a[0] = 1\n")
+        assert rules_of(check_ooc_safety(src, USE)) == ["OOC002"]
+
+    def test_write_into_shard_view_flagged(self):
+        src = ("def zero(store, s):\n"
+               "    view = store.shard_indptr(s)\n"
+               "    view[:] = 0\n")
+        assert rules_of(check_ooc_safety(src, USE)) == ["OOC002"]
+
+    def test_write_through_rw_memmap_clean(self):
+        src = ("import numpy as np\n"
+               "\n"
+               "def build(path):\n"
+               "    a = np.memmap(path, dtype='int64', mode='w+',\n"
+               "                  shape=(4,))\n"
+               "    a[0] = 1\n")
+        assert check_ooc_safety(src, USE) == []
+
+
+class TestOoc003:
+    def test_store_holder_without_guard_flagged(self):
+        src = ("class Bad(Graph):\n"
+               "    def __init__(self, store):\n"
+               "        self.store = store\n")
+        assert rules_of(check_ooc_safety(src, USE)) == ["OOC003"]
+
+    def test_non_raising_accessor_flagged(self):
+        src = ("class Bad(Graph):\n"
+               "    def __init__(self, store):\n"
+               "        self.store = store\n"
+               "\n"
+               "    def out_indices(self):\n"
+               "        return self.store.everything()\n")
+        assert rules_of(check_ooc_safety(src, USE)) == ["OOC003"]
+
+    def test_raising_guard_clean(self):
+        src = ("class Good(Graph):\n"
+               "    def __init__(self, store):\n"
+               "        self.store = store\n"
+               "\n"
+               "    @property\n"
+               "    def out_indices(self):\n"
+               "        raise GraphError('use out_indices_range')\n")
+        assert check_ooc_safety(src, USE) == []
+
+    def test_shard_backed_subclass_inherits_guard(self):
+        src = ("class Derived(ShardBackedGraph):\n"
+               "    def extra(self):\n"
+               "        return 1\n")
+        assert check_ooc_safety(src, USE) == []
+
+    def test_shard_backed_subclass_unguarding_flagged(self):
+        src = ("class Derived(ShardBackedGraph):\n"
+               "    def out_indices(self):\n"
+               "        return self.store.everything()\n")
+        assert rules_of(check_ooc_safety(src, USE)) == ["OOC003"]
+
+
+# ---------------------------------------------------------------------------
+# SUP001 — stale suppression markers
+# ---------------------------------------------------------------------------
+
+class TestSup001:
+    def test_live_marker_not_stale(self):
+        findings = [Finding("DET001", "x.py", 3, "m", suppressed=True)]
+        assert check_stale_suppressions(
+            findings, {"x.py": {3: {"DET001"}}}) == []
+
+    def test_stale_marker_flagged(self):
+        fs = check_stale_suppressions([], {"x.py": {3: {"DET001"}}})
+        assert [f.rule for f in fs] == ["SUP001"]
+        assert fs[0].path == "x.py" and fs[0].line == 3
+        assert not fs[0].suppressed
+
+    def test_stale_star_marker_flagged(self):
+        fs = check_stale_suppressions([], {"x.py": {3: {"*"}}})
+        assert [f.rule for f in fs] == ["SUP001"]
+
+    def test_star_cannot_waive_its_own_staleness(self):
+        fs = check_stale_suppressions([], {"x.py": {3: {"*"}}})
+        assert not fs[0].suppressed
+
+    def test_explicit_sup001_marker_waives(self):
+        fs = check_stale_suppressions(
+            [], {"x.py": {3: {"DET001", "SUP001"}}})
+        assert [f.rule for f in fs] == ["SUP001"]
+        assert fs[0].suppressed
+
+    def test_end_to_end_stale_marker_fails_gate(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "x.py").write_text(
+            "X = 1  # repro: ignore[DET001] -- nothing fires here\n")
+        report = check_paths([str(tmp_path)], contracts_pass=False)
+        assert rules_of(report.active) == ["SUP001"]
+        assert report.exit_code == 1
+
+    def test_in_tree_markers_are_all_live(self):
+        # every committed `# repro: ignore[...]` must still suppress a
+        # real finding — the self-lint would fail on a stale one
+        report = check_paths(["src"], contracts_pass=False)
+        assert all(f.rule != "SUP001" for f in report.findings)
+        suppressed_paths = {f.path for f in report.findings
+                            if f.suppressed}
+        assert "src/repro/runtime/checkpoint.py" in suppressed_paths
+        assert "src/repro/bench/workloads.py" in suppressed_paths
+        assert "src/repro/graph/store.py" in suppressed_paths
+
+
+# ---------------------------------------------------------------------------
 # Runner + CLI + JSON document (self-lint acceptance)
 # ---------------------------------------------------------------------------
 
@@ -419,6 +722,24 @@ class TestRunner:
         assert doc["schema"] == "repro-check/v1"
         assert doc["counts"]["findings"] == 0
         assert set(doc["rules"]) == set(RULES)
+
+    def test_cli_check_json_reports_failures(self, tmp_path):
+        from repro.cli import main
+
+        pkg = tmp_path / "repro" / "mapreduce"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "def route(k, n):\n    return hash(k) % n\n")
+        out = tmp_path / "findings.json"
+        assert main(["check", str(tmp_path), "--no-contracts",
+                     "--json", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-check/v1"
+        assert doc["counts"]["findings"] >= 1
+        assert "DET001" in {f["rule"] for f in doc["findings"]}
+        # the documented rule set includes the v2 families
+        assert {"DET005", "DET006", "OOC001", "OOC002", "OOC003",
+                "SUP001"} <= set(doc["rules"])
 
     def test_findings_json_counts(self):
         fs = lint_source(
